@@ -1,0 +1,146 @@
+// EXP-CRYPTO — the crypto substrate (§2.1: "the cost of decryption in the
+// SOE" is one of the two limiting factors).
+//
+// Host throughput of each primitive plus, as counters, the modeled e-gate
+// card time per kilobyte — the number the end-to-end decomposition in
+// bench_end_to_end builds on.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "crypto/aes.h"
+#include "crypto/container.h"
+#include "crypto/keys.h"
+#include "crypto/merkle.h"
+#include "crypto/modes.h"
+#include "crypto/sha256.h"
+#include "soe/card_profile.h"
+
+namespace {
+
+using namespace csxa;
+using crypto::Aes128;
+using crypto::SymmetricKey;
+
+Bytes RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.Next());
+  return out;
+}
+
+void BM_AesBlockEncrypt(benchmark::State& state) {
+  auto aes = Aes128::New(RandomBytes(16, 1)).value();
+  uint8_t block[16] = {0};
+  for (auto _ : state) {
+    aes.EncryptBlock(block, block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesBlockEncrypt);
+
+void BM_CtrTransform(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto aes = Aes128::New(RandomBytes(16, 2)).value();
+  Bytes data = RandomBytes(n, 3);
+  crypto::Iv iv{};
+  Bytes out;
+  for (auto _ : state) {
+    crypto::CtrTransform(aes, iv, data, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  // Modeled card time for this buffer (crypto coprocessor).
+  soe::CardProfile card = soe::CardProfile::EGate();
+  state.counters["card_ms"] =
+      1e3 * static_cast<double>(n) * card.cycles_per_byte_decrypt /
+      (card.cpu_mhz * 1e6);
+}
+BENCHMARK(BM_CtrTransform)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_Sha256(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Bytes data = RandomBytes(n, 4);
+  for (auto _ : state) {
+    auto digest = crypto::Sha256::Hash(data);
+    benchmark::DoNotOptimize(digest.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Sha256)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key = RandomBytes(16, 5);
+  Bytes data = RandomBytes(512, 6);
+  for (auto _ : state) {
+    auto mac = crypto::HmacSha256(key, data);
+    benchmark::DoNotOptimize(mac.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  size_t leaves = static_cast<size_t>(state.range(0));
+  std::vector<Bytes> data;
+  for (size_t i = 0; i < leaves; ++i) data.push_back(RandomBytes(512, 7 + i));
+  for (auto _ : state) {
+    auto tree = crypto::MerkleTree::Build(data);
+    benchmark::DoNotOptimize(tree.root().data());
+  }
+  state.counters["leaves"] = static_cast<double>(leaves);
+}
+BENCHMARK(BM_MerkleBuild)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_MerkleVerify(benchmark::State& state) {
+  size_t leaves = static_cast<size_t>(state.range(0));
+  std::vector<Bytes> data;
+  for (size_t i = 0; i < leaves; ++i) data.push_back(RandomBytes(512, 9 + i));
+  auto tree = crypto::MerkleTree::Build(data);
+  auto proof = tree.Prove(leaves / 2).value();
+  for (auto _ : state) {
+    bool ok = crypto::MerkleTree::Verify(tree.root(), leaves / 2, leaves,
+                                         data[leaves / 2], proof);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["proof_nodes"] = static_cast<double>(proof.size());
+}
+BENCHMARK(BM_MerkleVerify)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ContainerSeal(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(10);
+  SymmetricKey key = SymmetricKey::Generate(&rng);
+  Bytes payload = RandomBytes(n, 11);
+  for (auto _ : state) {
+    Bytes sealed = crypto::SecureContainer::Seal(key, payload, 512, &rng);
+    benchmark::DoNotOptimize(sealed.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ContainerSeal)->Arg(4096)->Arg(65536);
+
+void BM_ContainerOpenAll(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(12);
+  SymmetricKey key = SymmetricKey::Generate(&rng);
+  Bytes payload = RandomBytes(n, 13);
+  Bytes sealed = crypto::SecureContainer::Seal(key, payload, 512, &rng);
+  for (auto _ : state) {
+    auto opened = crypto::SecureContainer::OpenAll(key, sealed);
+    CSXA_CHECK(opened.ok());
+    benchmark::DoNotOptimize(opened.value().data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ContainerOpenAll)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// EXP-PUSH — selective dissemination (demo application 2, §3).
+//
+// Push-mode economics: every card receives the whole broadcast; the skip
+// index saves decryption and CPU, not bandwidth. The bench sweeps
+// subscriber counts and item sizes and reports per-item broadcast cost,
+// per-card decryption, and the slowest card's modeled latency — the
+// real-time constraint of the video-dissemination demo.
+
+#include "bench/bench_util.h"
+#include "dissem/channel.h"
+
+using namespace csxa;
+using namespace csxa::bench;
+
+namespace {
+
+xml::DomDocument FeedItem(size_t elements, uint64_t seed) {
+  xml::GeneratorParams gp;
+  gp.profile = xml::DocProfile::kNewsFeed;
+  gp.target_elements = elements;
+  gp.seed = seed;
+  gp.text_avg_len = 48;
+  return xml::GenerateDocument(gp);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== EXP-PUSH: dissemination throughput and per-card cost ===\n\n");
+
+  const char* kRules =
+      "+ child //item[rating=\"G\"]\n"
+      "+ teen //item\n- teen //item[rating=\"R\"]\n- teen //media\n"
+      "+ genres //channel/genre\n"
+      "+ premium /feed\n";
+
+  std::printf("--- per-subscriber economics (one 400-element item) ---\n");
+  Table t1({"subscriber", "view B", "decrypt B", "of broadcast", "skips",
+            "card s"});
+  {
+    dissem::ChannelOptions opt;
+    opt.chunk_size = 256;
+    dissem::Channel channel("feed", kRules, opt, 2718);
+    dissem::Subscriber child("child", soe::CardProfile::EGate());
+    dissem::Subscriber teen("teen", soe::CardProfile::EGate());
+    dissem::Subscriber genres("genres", soe::CardProfile::EGate());
+    dissem::Subscriber premium("premium", soe::CardProfile::EGate());
+    for (auto* s : {&child, &teen, &genres, &premium}) channel.Subscribe(s);
+    auto report = channel.Publish(FeedItem(400, 1));
+    CSXA_CHECK(report.ok());
+    uint64_t wire = report.value().broadcast_wire_bytes;
+    for (const auto& d : report.value().deliveries) {
+      t1.AddRow({d.subscriber, Fmt("%zu", d.view_xml.size()),
+                 Fmt("%llu", (unsigned long long)d.stats.bytes_decrypted),
+                 Fmt("%.0f%%", 100.0 * static_cast<double>(d.stats.bytes_decrypted) /
+                                   static_cast<double>(wire)),
+                 Fmt("%zu", d.stats.skips),
+                 Fmt("%.1f", d.stats.total_seconds)});
+    }
+    t1.Print();
+    std::printf("broadcast: %llu wire bytes per item\n\n",
+                (unsigned long long)wire);
+  }
+
+  std::printf("--- item-size sweep: slowest card vs real-time budget ---\n");
+  Table t2({"item elems", "broadcast B", "slowest card s", "egate keeps up",
+            "modern s"});
+  for (size_t elems : {100u, 200u, 400u, 800u}) {
+    dissem::ChannelOptions opt;
+    opt.chunk_size = 256;
+    dissem::Channel channel("feed", kRules, opt, 3141);
+    dissem::Subscriber teen("teen", soe::CardProfile::EGate());
+    dissem::Subscriber premium("premium", soe::CardProfile::EGate());
+    channel.Subscribe(&teen);
+    channel.Subscribe(&premium);
+    auto report = channel.Publish(FeedItem(elems, 10 + elems));
+    CSXA_CHECK(report.ok());
+
+    dissem::Channel modern_channel("feed2", kRules, opt, 3142);
+    dissem::Subscriber mteen("teen", soe::CardProfile::ModernElement());
+    dissem::Subscriber mpremium("premium", soe::CardProfile::ModernElement());
+    modern_channel.Subscribe(&mteen);
+    modern_channel.Subscribe(&mpremium);
+    auto mreport = modern_channel.Publish(FeedItem(elems, 10 + elems));
+    CSXA_CHECK(mreport.ok());
+
+    // Real-time budget: one item per 30 s of playout (demo-style video
+    // metadata stream).
+    bool keeps_up = report.value().max_subscriber_seconds < 30.0;
+    t2.AddRow({Fmt("%zu", elems),
+               Fmt("%llu", (unsigned long long)report.value().broadcast_wire_bytes),
+               Fmt("%.1f", report.value().max_subscriber_seconds),
+               keeps_up ? "yes" : "NO",
+               Fmt("%.3f", mreport.value().max_subscriber_seconds)});
+  }
+  t2.Print();
+  std::printf("\nexpected shape: the 2 KB/s e-gate link caps broadcast "
+              "consumption near ~2 KB of stream per second — the demo used "
+              "low-rate textual/metadata streams; a modern element keeps "
+              "up with three orders of magnitude more.\n");
+
+  std::printf("\n--- subscriber scaling (400-element item, e-gate) ---\n");
+  Table t3({"subscribers", "total card-seconds", "slowest s"});
+  for (size_t n : {1u, 4u, 16u, 64u}) {
+    dissem::ChannelOptions opt;
+    opt.chunk_size = 256;
+    dissem::Channel channel("feed", kRules, opt, 1618);
+    std::vector<std::unique_ptr<dissem::Subscriber>> subs;
+    for (size_t i = 0; i < n; ++i) {
+      const char* names[] = {"child", "teen", "genres", "premium"};
+      subs.push_back(std::make_unique<dissem::Subscriber>(
+          names[i % 4], soe::CardProfile::EGate()));
+      channel.Subscribe(subs.back().get());
+    }
+    auto report = channel.Publish(FeedItem(400, 5));
+    CSXA_CHECK(report.ok());
+    double total = 0;
+    for (const auto& d : report.value().deliveries) {
+      total += d.stats.total_seconds;
+    }
+    t3.AddRow({Fmt("%zu", n), Fmt("%.1f", total),
+               Fmt("%.1f", report.value().max_subscriber_seconds)});
+  }
+  t3.Print();
+  std::printf("\nexpected shape: cards filter in parallel — wall-clock per "
+              "item is the slowest card, independent of the audience size "
+              "(the broadcast is sent once).\n");
+  return 0;
+}

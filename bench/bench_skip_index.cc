@@ -1,0 +1,97 @@
+// EXP-SKIP — the skip index benefit (§2.3).
+//
+// "Indexing is of utmost importance considering the two limiting factors
+// of the target architecture: the cost of decryption in the SOE and the
+// cost of communication." This bench sweeps the authorized fraction (how
+// selective the subject's rules are) and reports transferred bytes,
+// decrypted bytes and modeled e-gate time with and without the skip index.
+//
+// Expected shape (companion paper, VLDB'04): the more selective the
+// access, the larger the win; at ~100% authorized the index costs its
+// overhead and wins nothing.
+
+#include "bench/bench_util.h"
+
+using namespace csxa;
+using namespace csxa::bench;
+
+int main() {
+  std::printf("=== EXP-SKIP: skip-index benefit vs authorized fraction ===\n");
+  std::printf("hospital profile, 3000 elements, 48-char texts, chunk 128 B, "
+              "e-gate card\n");
+  std::printf("(chunks are the fetch/decrypt unit: only fully skipped "
+              "chunks are saved — see the chunk sweep in EXP-APDU)\n\n");
+
+  // Rule sets of decreasing selectivity over the hospital document.
+  struct Level {
+    const char* label;
+    const char* rules;
+  };
+  const Level levels[] = {
+      {"~1-2% (billing amounts)", "+ u //billing/amount\n"},
+      {"~10% (admin subtree)", "+ u //patient/admin\n"},
+      {"~35% (medical subtree)", "+ u //patient/medical\n"},
+      {"~60% (patients minus medical)", "+ u //patient\n- u //medical\n"},
+      {"100% (whole document)", "+ u /hospital\n"},
+  };
+
+  Table table({"authorized", "frac", "mode", "transfer B", "decrypt B",
+               "skipped B", "chunks", "skips", "time s", "speedup"});
+  for (const Level& level : levels) {
+    Fixture fx = MakeFixture(xml::DocProfile::kHospital, 3000, level.rules,
+                             1234, /*chunk_size=*/128, true, true,
+                             /*text_avg=*/48);
+    double frac = AuthFraction(fx, "u", "");
+    auto with = RunSession(fx, "u", "", /*use_skip=*/true);
+    auto without = RunSession(fx, "u", "", /*use_skip=*/false);
+    CSXA_CHECK(with.view_xml == without.view_xml);
+    double speedup = without.stats.total_seconds / with.stats.total_seconds;
+    table.AddRow({level.label, Fmt("%.2f", frac), "skip",
+                  Fmt("%llu", (unsigned long long)with.stats.bytes_transferred),
+                  Fmt("%llu", (unsigned long long)with.stats.bytes_decrypted),
+                  Fmt("%llu", (unsigned long long)with.stats.bytes_skipped),
+                  Fmt("%llu/%llu", (unsigned long long)with.stats.chunks_fetched,
+                      (unsigned long long)(with.stats.chunks_fetched +
+                                           with.stats.chunks_avoided)),
+                  Fmt("%zu", with.stats.skips),
+                  Fmt("%.2f", with.stats.total_seconds),
+                  Fmt("%.2fx", speedup)});
+    table.AddRow({"", "", "noskip",
+                  Fmt("%llu", (unsigned long long)without.stats.bytes_transferred),
+                  Fmt("%llu", (unsigned long long)without.stats.bytes_decrypted),
+                  "0",
+                  Fmt("%llu/%llu",
+                      (unsigned long long)without.stats.chunks_fetched,
+                      (unsigned long long)(without.stats.chunks_fetched +
+                                           without.stats.chunks_avoided)),
+                  "0", Fmt("%.2f", without.stats.total_seconds), "1.00x"});
+  }
+  table.Print();
+
+  std::printf("\n--- query selectivity on a fully authorized document ---\n");
+  Table qtable({"query", "frac", "mode", "transfer B", "decrypt B", "time s",
+                "speedup"});
+  const char* queries[] = {"//billing/amount", "//patient/medical/visit",
+                           "//ward", ""};
+  Fixture fx = MakeFixture(xml::DocProfile::kHospital, 3000, "+ u /hospital\n",
+                           1235, 128, true, true, 48);
+  for (const char* q : queries) {
+    auto with = RunSession(fx, "u", q, true);
+    auto without = RunSession(fx, "u", q, false);
+    CSXA_CHECK(with.view_xml == without.view_xml);
+    qtable.AddRow({q[0] ? q : "(none)", Fmt("%.2f", AuthFraction(fx, "u", q)),
+                   "skip",
+                   Fmt("%llu", (unsigned long long)with.stats.bytes_transferred),
+                   Fmt("%llu", (unsigned long long)with.stats.bytes_decrypted),
+                   Fmt("%.2f", with.stats.total_seconds),
+                   Fmt("%.2fx", without.stats.total_seconds /
+                                    with.stats.total_seconds)});
+    qtable.AddRow(
+        {"", "", "noskip",
+         Fmt("%llu", (unsigned long long)without.stats.bytes_transferred),
+         Fmt("%llu", (unsigned long long)without.stats.bytes_decrypted),
+         Fmt("%.2f", without.stats.total_seconds), "1.00x"});
+  }
+  qtable.Print();
+  return 0;
+}

@@ -1,0 +1,183 @@
+#ifndef CSXA_BENCH_BENCH_UTIL_H_
+#define CSXA_BENCH_BENCH_UTIL_H_
+
+/// \file bench_util.h
+/// \brief Shared setup for the experiment binaries: sealed-document
+/// fixtures, rule sets calibrated to an authorized fraction, and a small
+/// aligned-table printer so every bench prints paper-style rows.
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/ref_evaluator.h"
+#include "core/rule.h"
+#include "core/rule_envelope.h"
+#include "crypto/container.h"
+#include "skipindex/codec.h"
+#include "soe/card_engine.h"
+#include "xml/generator.h"
+#include "xpath/parser.h"
+
+namespace csxa::bench {
+
+/// A sealed document ready for card sessions, with an in-memory provider.
+struct Fixture {
+  crypto::SymmetricKey key;
+  Bytes container_bytes;
+  std::unique_ptr<crypto::SecureContainer> container;
+  Bytes header_bytes;
+  Bytes sealed_rules;
+  core::RuleSet rules;
+  xml::DomDocument doc;
+  skipindex::EncodeStats encode_stats;
+  size_t encoded_bytes = 0;
+};
+
+/// ChunkProvider over a fixture (pull or push).
+class FixtureProvider : public soe::ChunkProvider {
+ public:
+  explicit FixtureProvider(const crypto::SecureContainer* c) : container_(c) {}
+  Result<soe::ChunkData> GetChunk(uint32_t index) override {
+    soe::ChunkData chunk;
+    CSXA_ASSIGN_OR_RETURN(Span cipher, container_->ChunkCiphertext(index));
+    chunk.ciphertext = cipher.ToBytes();
+    CSXA_ASSIGN_OR_RETURN(chunk.auth, container_->GetChunkAuth(index));
+    return chunk;
+  }
+  uint64_t TotalWireBytes() const override {
+    uint64_t total = crypto::ContainerHeader::kWireSize;
+    for (uint32_t i = 0; i < container_->header().chunk_count; ++i) {
+      auto cipher = container_->ChunkCiphertext(i);
+      auto auth = container_->GetChunkAuth(i);
+      if (cipher.ok() && auth.ok()) {
+        total += cipher.value().size() +
+                 auth.value().WireBytes(container_->header().integrity);
+      }
+    }
+    return total;
+  }
+
+ private:
+  const crypto::SecureContainer* container_;
+};
+
+/// Builds a sealed fixture from a generated document and rule text.
+inline Fixture MakeFixture(xml::DocProfile profile, size_t elements,
+                           const std::string& rules_text, uint64_t seed,
+                           size_t chunk_size = 512, bool with_index = true,
+                           bool recursive = true, size_t text_avg = 24) {
+  Fixture fx;
+  Rng rng(seed);
+  fx.key = crypto::SymmetricKey::Generate(&rng);
+  xml::GeneratorParams gp;
+  gp.profile = profile;
+  gp.target_elements = elements;
+  gp.seed = seed;
+  gp.text_avg_len = text_avg;
+  fx.doc = xml::GenerateDocument(gp);
+  skipindex::EncodeOptions eopt;
+  eopt.with_index = with_index;
+  eopt.recursive_bitmaps = recursive;
+  auto encoded = skipindex::EncodeDocument(fx.doc, eopt, &fx.encode_stats);
+  fx.encoded_bytes = encoded.value().size();
+  fx.container_bytes =
+      crypto::SecureContainer::Seal(fx.key, encoded.value(), chunk_size, &rng);
+  fx.container = std::make_unique<crypto::SecureContainer>(
+      crypto::SecureContainer::Parse(fx.container_bytes).value());
+  ByteWriter hw;
+  fx.container->header().EncodeTo(&hw);
+  fx.header_bytes = hw.Take();
+  fx.rules = core::RuleSet::ParseText(rules_text).value();
+  fx.sealed_rules = core::SealRuleSet(fx.key, fx.rules, /*version=*/1, &rng);
+  return fx;
+}
+
+/// Runs one pull session on an e-gate card over the fixture.
+inline soe::SessionOutput RunSession(const Fixture& fx,
+                                     const std::string& subject,
+                                     const std::string& query, bool use_skip,
+                                     soe::CardProfile profile =
+                                         soe::CardProfile::EGate(),
+                                     bool push_mode = false) {
+  soe::CardEngine card(profile);
+  card.InstallKey("doc", fx.key);
+  FixtureProvider provider(fx.container.get());
+  soe::SessionOptions opts;
+  opts.subject = subject;
+  opts.query_text = query;
+  opts.use_skip = use_skip;
+  opts.push_mode = push_mode;
+  auto out =
+      card.RunSession("doc", fx.header_bytes, fx.sealed_rules, &provider, opts);
+  CSXA_CHECK(out.ok());
+  return std::move(out).value();
+}
+
+/// Authorized element fraction for (subject, query) on the fixture.
+inline double AuthFraction(const Fixture& fx, const std::string& subject,
+                           const std::string& query) {
+  xpath::PathExpr qexpr;
+  const xpath::PathExpr* qptr = nullptr;
+  if (!query.empty()) {
+    qexpr = xpath::ParsePath(query).value();
+    qptr = &qexpr;
+  }
+  return core::AuthorizedFraction(fx.doc, fx.rules.ForSubject(subject), qptr);
+}
+
+/// \brief Tiny fixed-width table printer (paper-style rows).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        if (row[i].size() > widths[i]) widths[i] = row[i].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (size_t i = 0; i < headers_.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%s|", std::string(widths[i] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style cell formatting helper.
+inline std::string Fmt(const char* format, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace csxa::bench
+
+#endif  // CSXA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,120 @@
+// The medical-information exchange scenario of §1: predefined sharing
+// policies with situation-driven exceptions.
+//
+// A hospital folder is shared with doctors, accountants and researchers.
+// An emergency occurs: the on-call staff must temporarily see the folders
+// of patients with an acute diagnosis — an *exception* to the predefined
+// policy (the paper cites Or-BAC [5] for exactly this). With C-SXA the
+// exception is one rule-set update; when the emergency ends, another.
+
+#include <cstdio>
+
+#include "dsp/store.h"
+#include "pki/registry.h"
+#include "proxy/publisher.h"
+#include "proxy/terminal.h"
+#include "workload/scenarios.h"
+#include "xml/generator.h"
+
+using namespace csxa;
+
+namespace {
+
+size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  workload::Scenario scenario = workload::HospitalScenario();
+  std::printf("=== Medical folder exchange (pull, with exceptions) ===\n%s\n\n",
+              scenario.description.c_str());
+
+  xml::GeneratorParams gp;
+  gp.profile = xml::DocProfile::kHospital;
+  gp.target_elements = 900;
+  gp.seed = 1905;
+  auto folder = xml::GenerateDocument(gp);
+
+  dsp::DspServer store;
+  pki::KeyRegistry registry;
+  proxy::Publisher publisher(&store, &registry, 613);
+  auto receipt = publisher.Publish("folder", folder, scenario.rules_text);
+  if (!receipt.ok()) return 1;
+
+  auto run = [&](const char* who, const char* query) {
+    proxy::Terminal term(who, soe::CardProfile::EGate(), &store, &registry);
+    if (!term.Provision("folder").ok()) {
+      std::printf("  %-12s not provisioned\n", who);
+      return std::string();
+    }
+    proxy::QueryOptions q;
+    q.query = query;
+    auto result = term.Query("folder", q);
+    if (!result.ok()) {
+      std::printf("  %-12s error: %s\n", who,
+                  result.status().ToString().c_str());
+      return std::string();
+    }
+    std::printf("  %-12s %-42s %6zu bytes, %5.1f s, %3zu skips, RAM %4zu B\n",
+                who, query, result.value().xml.size(),
+                result.value().card.total_seconds, result.value().card.skips,
+                result.value().card.ram_peak);
+    return result.value().xml;
+  };
+
+  std::printf("normal operation:\n");
+  std::string doctor_view = run("doctor", "//patient");
+  std::string researcher_view = run("researcher", "//treatment");
+  std::string accountant_view = run("accountant", "//billing/amount");
+  run("emergency", "//patient");
+
+  std::printf("\nprivacy checks:\n");
+  std::printf("  researcher view contains %zu <name> vs doctor's %zu "
+              "(identity stripped)\n",
+              CountOccurrences(researcher_view, "<name>"),
+              CountOccurrences(doctor_view, "<name>"));
+  std::printf("  doctor view contains %zu <amount> (billing hidden)\n",
+              CountOccurrences(doctor_view, "<amount>"));
+
+  // --- Emergency exception -------------------------------------------------
+  std::printf("\n--- emergency declared: on-call staff gains acute folders, "
+              "doctor gains billing for triage ---\n");
+  // The exception *replaces* the doctor's billing prohibition (appending a
+  // permission would lose to Denial-Takes-Precedence) and adds the on-call
+  // role. Dynamic rules make this a text edit, not a crypto operation.
+  std::string emergency_rules =
+      "+ doctor //patient\n"
+      "+ accountant //patient/admin\n"
+      "+ researcher //patient/medical\n"
+      "- researcher //patient/name\n"
+      "- researcher //patient/ssn\n"
+      "+ emergency //patient[medical/diagnosis/severity=\"acute\"]\n"
+      "- emergency //admin\n"
+      "+ oncall //patient[medical/diagnosis/severity=\"acute\"]\n";
+  auto update =
+      publisher.UpdateRules("folder", receipt.value().key, emergency_rules);
+  if (!update.ok()) return 1;
+  std::printf("exception deployed with a %zu-byte rule update\n\n",
+              update.value());
+  run("oncall", "//patient");
+  std::string doctor_emergency = run("doctor", "//patient");
+  std::printf("  doctor now sees %zu <amount>\n",
+              CountOccurrences(doctor_emergency, "<amount>"));
+
+  std::printf("\n--- emergency lifted ---\n");
+  auto revert =
+      publisher.UpdateRules("folder", receipt.value().key, scenario.rules_text);
+  if (!revert.ok()) return 1;
+  run("oncall", "//patient");
+  std::printf("\n(the document on the DSP was never re-encrypted: %zu bytes "
+              "of ciphertext stayed byte-identical)\n",
+              receipt.value().container_bytes);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Demo application 2 (§3) + the parental-control motivation of §1:
+// selective dissemination of a rated content feed over an unsecured
+// broadcast channel.
+//
+// Every receiver gets the same encrypted stream; each child's smart card
+// filters it against the household's own rules in real time. "Neither Web
+// site nor ISP can predict the diversity of access control rules that
+// parents with different sensibility are willing to enforce" — here the
+// parents just edit their rules.
+
+#include <cstdio>
+
+#include "dissem/channel.h"
+#include "workload/scenarios.h"
+#include "xml/generator.h"
+
+using namespace csxa;
+
+namespace {
+
+xml::DomDocument MakeFeedItem(uint64_t seed) {
+  xml::GeneratorParams gp;
+  gp.profile = xml::DocProfile::kNewsFeed;
+  gp.target_elements = 300;
+  gp.seed = seed;
+  gp.text_avg_len = 40;
+  return xml::GenerateDocument(gp);
+}
+
+void Report(const dissem::BroadcastReport& report) {
+  std::printf("  broadcast: %llu wire bytes, %zu elements; slowest card "
+              "%.1f s\n",
+              static_cast<unsigned long long>(report.broadcast_wire_bytes),
+              report.item_elements, report.max_subscriber_seconds);
+  for (const auto& d : report.deliveries) {
+    std::printf("    %-8s received %6zu bytes | decrypted %6llu of %6llu | "
+                "%3zu skips | %4.1f s modeled\n",
+                d.subscriber.c_str(), d.view_xml.size(),
+                static_cast<unsigned long long>(d.stats.bytes_decrypted),
+                static_cast<unsigned long long>(d.stats.bytes_transferred),
+                d.stats.skips, d.stats.total_seconds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  workload::Scenario scenario = workload::NewsFeedScenario();
+  std::printf("=== Selective dissemination / parental control (push) ===\n"
+              "%s\n\n",
+              scenario.description.c_str());
+
+  dissem::ChannelOptions opt;
+  opt.chunk_size = 256;  // small units so the card can discard selectively
+  dissem::Channel channel("kids-tv", scenario.rules_text, opt, 424242);
+
+  dissem::Subscriber child("child", soe::CardProfile::EGate());
+  dissem::Subscriber teen("teen", soe::CardProfile::EGate());
+  dissem::Subscriber premium("premium", soe::CardProfile::EGate());
+  channel.Subscribe(&child);
+  channel.Subscribe(&teen);
+  channel.Subscribe(&premium);
+
+  std::printf("household rules:\n%s\n", scenario.rules_text.c_str());
+
+  std::printf("feed item #1:\n");
+  auto r1 = channel.Publish(MakeFeedItem(1));
+  if (!r1.ok()) {
+    std::fprintf(stderr, "publish: %s\n", r1.status().ToString().c_str());
+    return 1;
+  }
+  Report(r1.value());
+
+  std::printf("\nfeed item #2:\n");
+  auto r2 = channel.Publish(MakeFeedItem(2));
+  if (!r2.ok()) return 1;
+  Report(r2.value());
+
+  // The parents tighten the teen's profile after a questionable evening:
+  // rules change at the *receiver*, the publisher's stream is untouched.
+  std::printf("\n--- parents tighten the rules (teen loses PG13) ---\n");
+  Status st = channel.UpdateRules(
+      "+ child //item[rating=\"G\"]\n"
+      "+ teen //item[rating=\"G\"]\n"
+      "+ teen //item[rating=\"PG\"]\n"
+      "- teen //media\n"
+      "+ premium /feed\n");
+  if (!st.ok()) return 1;
+
+  std::printf("feed item #3 under the new policy:\n");
+  auto r3 = channel.Publish(MakeFeedItem(3));
+  if (!r3.ok()) return 1;
+  Report(r3.value());
+
+  std::printf("\nnote: same broadcast, personal enforcement — the teen's "
+              "delivered view shrank under the new policy while the "
+              "publisher's stream stayed byte-identical. (Value predicates "
+              "like rating=\"G\" keep items pending until the rating is "
+              "read, so skips concentrate on predicate-free denials — the "
+              "same limitation the original engine has.)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "baseline/server_acl.h"
+
+#include "xpath/parser.h"
+
+namespace csxa::baseline {
+
+Status TrustedServerBaseline::AddDocument(const std::string& doc_id,
+                                          xml::DomDocument doc,
+                                          const std::string& rules_text) {
+  CSXA_ASSIGN_OR_RETURN(core::RuleSet rules,
+                        core::RuleSet::ParseText(rules_text));
+  Entry entry{std::move(doc), std::move(rules)};
+  docs_.insert_or_assign(doc_id, std::move(entry));
+  return Status::OK();
+}
+
+Result<TrustedServerBaseline::ServerQueryResult> TrustedServerBaseline::Query(
+    const std::string& doc_id, const std::string& subject,
+    const std::string& query_text, const NetworkProfile& net) const {
+  auto it = docs_.find(doc_id);
+  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
+
+  xpath::PathExpr query;
+  const xpath::PathExpr* query_ptr = nullptr;
+  if (!query_text.empty()) {
+    CSXA_ASSIGN_OR_RETURN(query, xpath::ParsePath(query_text));
+    query_ptr = &query;
+  }
+  CSXA_ASSIGN_OR_RETURN(
+      xml::DomDocument view,
+      core::BuildAuthorizedView(it->second.doc,
+                                it->second.rules.ForSubject(subject),
+                                query_ptr));
+  ServerQueryResult out;
+  out.xml = view.Serialize();
+  out.result_bytes = out.xml.size();
+  double server_cpu = static_cast<double>(it->second.doc.CountElements()) /
+                      net.server_elements_per_sec;
+  out.modeled_seconds = net.rtt_sec + server_cpu +
+                        static_cast<double>(out.result_bytes) / net.bytes_per_sec;
+  return out;
+}
+
+}  // namespace csxa::baseline

@@ -1,0 +1,62 @@
+#ifndef CSXA_BASELINE_SERVER_ACL_H_
+#define CSXA_BASELINE_SERVER_ACL_H_
+
+/// \file server_acl.h
+/// \brief The trusted-server baseline: access control evaluated at the
+/// server, plaintext data on the server.
+///
+/// This is the model whose "erosion of trust" motivates the paper (§1).
+/// It is the latency lower bound (no card in the loop, fast link) but
+/// requires trusting the DSP with plaintext and with policy enforcement —
+/// the property C-SXA exists to remove. Benches report it as a reference
+/// point, not as a competitor on equal security footing.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/ref_evaluator.h"
+#include "core/rule.h"
+#include "xml/dom.h"
+
+namespace csxa::baseline {
+
+/// Terminal<->server network model (2005-era broadband).
+struct NetworkProfile {
+  double bytes_per_sec = 64.0 * 1024;  // ~512 kbit/s downstream
+  double rtt_sec = 0.04;
+  /// Server-side evaluation throughput, element visits per second.
+  double server_elements_per_sec = 2e6;
+};
+
+/// \brief Plaintext server with server-side ACL pruning.
+class TrustedServerBaseline {
+ public:
+  /// Stores a document (takes ownership) with its rules.
+  Status AddDocument(const std::string& doc_id, xml::DomDocument doc,
+                     const std::string& rules_text);
+
+  struct ServerQueryResult {
+    std::string xml;
+    size_t result_bytes = 0;
+    double modeled_seconds = 0;  // rtt + server CPU + transfer of result
+  };
+
+  /// Evaluates (subject, query) on the server and ships the pruned view.
+  Result<ServerQueryResult> Query(const std::string& doc_id,
+                                  const std::string& subject,
+                                  const std::string& query_text,
+                                  const NetworkProfile& net = {}) const;
+
+ private:
+  struct Entry {
+    xml::DomDocument doc;
+    core::RuleSet rules;
+  };
+  std::map<std::string, Entry> docs_;
+};
+
+}  // namespace csxa::baseline
+
+#endif  // CSXA_BASELINE_SERVER_ACL_H_

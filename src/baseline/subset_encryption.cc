@@ -1,0 +1,199 @@
+#include "baseline/subset_encryption.h"
+
+#include <bit>
+#include <set>
+
+#include "core/ref_evaluator.h"
+#include "xml/escape.h"
+
+namespace csxa::baseline {
+
+namespace {
+
+// Serialized size of one element in isolation: its own markup plus direct
+// text (what moves between classes when visibility changes).
+size_t ElementOwnBytes(const xml::DomNode* n) {
+  size_t bytes = 2 * n->tag().size() + 5;  // <tag></tag>
+  for (const auto& a : n->attrs()) bytes += a.name.size() + a.value.size() + 4;
+  bytes += n->DirectText().size();
+  return bytes;
+}
+
+void CollectElements(const xml::DomNode* n,
+                     std::vector<const xml::DomNode*>* out) {
+  n->CollectElements(out);
+}
+
+}  // namespace
+
+Result<std::vector<uint64_t>> SubsetEncryptionStore::ComputeMasks(
+    const core::RuleSet& rules) const {
+  std::vector<const xml::DomNode*> elements;
+  CollectElements(doc_->root(), &elements);
+  std::vector<uint64_t> masks(elements.size(), 0);
+  for (size_t s = 0; s < subjects_.size(); ++s) {
+    std::vector<bool> permitted =
+        core::AuthorizeAll(*doc_, rules.ForSubject(subjects_[s]));
+    for (size_t i = 0; i < elements.size(); ++i) {
+      if (permitted[i]) masks[i] |= (uint64_t{1} << s);
+    }
+  }
+  return masks;
+}
+
+uint64_t SubsetEncryptionStore::RebuildClasses(Rng* rng) {
+  classes_.clear();
+  for (size_t i = 0; i < masks_.size(); ++i) {
+    if (masks_[i] == 0) continue;  // visible to nobody: not published
+    ClassInfo& cls = classes_[masks_[i]];
+    cls.mask = masks_[i];
+    cls.plain_bytes += element_bytes_[i];
+    cls.members += 1;
+  }
+  uint64_t total = 0;
+  for (auto& [mask, cls] : classes_) {
+    cls.key = crypto::SymmetricKey::Generate(rng);
+    // CBC + MAC overhead of the sealed class blob.
+    cls.sealed_bytes = 16 + 32 + ((cls.plain_bytes / 16) + 1) * 16;
+    total += cls.sealed_bytes;
+  }
+  return total;
+}
+
+Result<SubsetEncryptionStore> SubsetEncryptionStore::Build(
+    const xml::DomDocument* doc, const core::RuleSet& rules, Rng* rng) {
+  if (doc == nullptr || doc->root() == nullptr) {
+    return Status::InvalidArgument("subset store needs a document");
+  }
+  SubsetEncryptionStore store;
+  store.doc_ = doc;
+  store.subjects_ = rules.Subjects();
+  if (store.subjects_.size() > 64) {
+    return Status::NotSupported("subset baseline supports at most 64 subjects");
+  }
+  std::vector<const xml::DomNode*> elements;
+  CollectElements(doc->root(), &elements);
+  store.element_bytes_.reserve(elements.size());
+  for (const xml::DomNode* e : elements) {
+    store.element_bytes_.push_back(ElementOwnBytes(e));
+  }
+  CSXA_ASSIGN_OR_RETURN(store.masks_, store.ComputeMasks(rules));
+  uint64_t encrypted = store.RebuildClasses(rng);
+
+  SubsetBuildStats& st = store.build_stats_;
+  st.element_count = elements.size();
+  st.class_count = store.classes_.size();
+  st.encrypted_bytes = encrypted;
+  st.keys_total = store.classes_.size();
+  size_t key_grants = 0;
+  for (const auto& [mask, cls] : store.classes_) {
+    key_grants += static_cast<size_t>(std::popcount(mask));
+  }
+  st.avg_keys_per_subject =
+      store.subjects_.empty()
+          ? 0
+          : static_cast<double>(key_grants) /
+                static_cast<double>(store.subjects_.size());
+  return store;
+}
+
+SubsetQueryCost SubsetEncryptionStore::QueryCost(
+    const std::string& subject) const {
+  SubsetQueryCost cost;
+  size_t bit = subjects_.size();
+  for (size_t s = 0; s < subjects_.size(); ++s) {
+    if (subjects_[s] == subject) {
+      bit = s;
+      break;
+    }
+  }
+  if (bit == subjects_.size()) return cost;  // unknown subject: nothing
+  for (const auto& [mask, cls] : classes_) {
+    if (mask & (uint64_t{1} << bit)) {
+      cost.bytes_transferred += cls.sealed_bytes;
+      cost.bytes_decrypted += cls.sealed_bytes;
+      cost.classes_read += 1;
+      cost.elements_delivered += cls.members;
+    }
+  }
+  return cost;
+}
+
+Result<PolicyChangeStats> SubsetEncryptionStore::ApplyPolicyChange(
+    const core::RuleSet& new_rules, Rng* rng) {
+  PolicyChangeStats stats;
+
+  // Key-holdings before the change.
+  std::vector<std::string> old_subjects = subjects_;
+  std::map<std::string, std::set<uint64_t>> held_before;
+  for (size_t s = 0; s < old_subjects.size(); ++s) {
+    for (const auto& [mask, cls] : classes_) {
+      if (mask & (uint64_t{1} << s)) held_before[old_subjects[s]].insert(mask);
+    }
+  }
+
+  std::vector<std::string> new_subjects = new_rules.Subjects();
+  if (new_subjects.size() > 64) {
+    return Status::NotSupported("subset baseline supports at most 64 subjects");
+  }
+  subjects_ = new_subjects;
+  std::vector<uint64_t> old_masks = masks_;
+  CSXA_ASSIGN_OR_RETURN(masks_, ComputeMasks(new_rules));
+
+  // Elements whose visibility vector changed move between classes. Note:
+  // masks are relative to the subject list, so compare via subject-name
+  // visibility, not raw bits.
+  auto visible_set = [](uint64_t mask, const std::vector<std::string>& subs) {
+    std::set<std::string> out;
+    for (size_t s = 0; s < subs.size(); ++s) {
+      if (mask & (uint64_t{1} << s)) out.insert(subs[s]);
+    }
+    return out;
+  };
+  std::set<uint64_t> dirty_new_masks;
+  for (size_t i = 0; i < masks_.size(); ++i) {
+    if (visible_set(old_masks[i], old_subjects) !=
+        visible_set(masks_[i], subjects_)) {
+      ++stats.elements_moved;
+      if (masks_[i] != 0) dirty_new_masks.insert(masks_[i]);
+    }
+  }
+
+  RebuildClasses(rng);
+
+  // Every class that received at least one moved element must be fully
+  // re-encrypted (its blob changed); the classes the elements left as well
+  // — approximated by the same dirty set on the new partition plus the
+  // vanished classes.
+  for (uint64_t mask : dirty_new_masks) {
+    auto it = classes_.find(mask);
+    if (it != classes_.end()) {
+      ++stats.classes_reencrypted;
+      stats.bytes_reencrypted += it->second.sealed_bytes;
+    }
+  }
+
+  // Key redistribution: grants added or removed per subject.
+  std::map<std::string, std::set<uint64_t>> held_after;
+  for (size_t s = 0; s < subjects_.size(); ++s) {
+    for (const auto& [mask, cls] : classes_) {
+      if (mask & (uint64_t{1} << s)) held_after[subjects_[s]].insert(mask);
+    }
+  }
+  std::set<std::string> all_subjects(old_subjects.begin(), old_subjects.end());
+  all_subjects.insert(subjects_.begin(), subjects_.end());
+  for (const std::string& subject : all_subjects) {
+    const auto& before = held_before[subject];
+    const auto& after = held_after[subject];
+    for (uint64_t m : after) {
+      if (!before.count(m)) ++stats.keys_redistributed;
+    }
+    for (uint64_t m : before) {
+      if (!after.count(m)) ++stats.keys_redistributed;
+    }
+  }
+  stats.class_count_after = classes_.size();
+  return stats;
+}
+
+}  // namespace csxa::baseline

@@ -1,0 +1,89 @@
+#include "common/bitvec.h"
+
+#include <bit>
+
+namespace csxa {
+
+size_t BitVec::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool BitVec::IsSubsetOf(const BitVec& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool BitVec::Intersects(const BitVec& other) const {
+  size_t n = words_.size() < other.words_.size() ? words_.size() : other.words_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+void BitVec::UnionWith(const BitVec& other) {
+  for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+size_t BitVec::RankBefore(size_t i) const {
+  size_t full = i >> 6;
+  size_t n = 0;
+  for (size_t w = 0; w < full; ++w) n += static_cast<size_t>(std::popcount(words_[w]));
+  size_t rem = i & 63;
+  if (rem != 0 && full < words_.size()) {
+    uint64_t mask = (uint64_t{1} << rem) - 1;
+    n += static_cast<size_t>(std::popcount(words_[full] & mask));
+  }
+  return n;
+}
+
+size_t BitVec::SelectSet(size_t k) const {
+  for (size_t i = 0; i < nbits_; ++i) {
+    if (Test(i)) {
+      if (k == 0) return i;
+      --k;
+    }
+  }
+  return nbits_;
+}
+
+void BitVec::EncodeTo(ByteWriter* out) const {
+  size_t nbytes = (nbits_ + 7) / 8;
+  for (size_t b = 0; b < nbytes; ++b) {
+    uint8_t byte = 0;
+    for (size_t bit = 0; bit < 8; ++bit) {
+      size_t i = b * 8 + bit;
+      if (i < nbits_ && Test(i)) byte |= static_cast<uint8_t>(1u << bit);
+    }
+    out->PutU8(byte);
+  }
+}
+
+bool BitVec::DecodeFrom(ByteReader* in, size_t nbits, BitVec* out) {
+  size_t nbytes = (nbits + 7) / 8;
+  *out = BitVec(nbits);
+  for (size_t b = 0; b < nbytes; ++b) {
+    uint8_t byte;
+    if (!in->GetU8(&byte)) return false;
+    for (size_t bit = 0; bit < 8; ++bit) {
+      size_t i = b * 8 + bit;
+      if (i < nbits && ((byte >> bit) & 1)) out->Set(i);
+    }
+  }
+  return true;
+}
+
+}  // namespace csxa

@@ -1,0 +1,70 @@
+#ifndef CSXA_COMMON_BITVEC_H_
+#define CSXA_COMMON_BITVEC_H_
+
+/// \file bitvec.h
+/// \brief Fixed-width bit vector used for skip-index tag sets.
+///
+/// The skip index encodes, for each subtree, the set of element tags it
+/// contains as a bit array over the tag dictionary (§2.3). BitVec supports
+/// the subset/intersection tests the skip decision needs and the
+/// rank-based remapping used by recursive compression.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace csxa {
+
+/// \brief Dynamically sized bit vector with set-algebra helpers.
+class BitVec {
+ public:
+  BitVec() = default;
+  /// Creates a vector of `nbits` zero bits.
+  explicit BitVec(size_t nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  /// Number of bits.
+  size_t size() const { return nbits_; }
+
+  /// Sets bit `i` to 1. `i` must be < size().
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  /// Clears bit `i`.
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  /// Tests bit `i`.
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const;
+  /// True iff no bit is set.
+  bool None() const;
+  /// True iff every set bit of *this is also set in `other` (sizes must match).
+  bool IsSubsetOf(const BitVec& other) const;
+  /// True iff *this and `other` share at least one set bit.
+  bool Intersects(const BitVec& other) const;
+  /// In-place union with `other` (sizes must match).
+  void UnionWith(const BitVec& other);
+
+  /// Number of set bits strictly below position `i` (rank query).
+  size_t RankBefore(size_t i) const;
+  /// Position of the `k`-th (0-based) set bit, or size() if none.
+  size_t SelectSet(size_t k) const;
+
+  /// Serializes exactly ceil(size()/8) bytes, LSB-first.
+  void EncodeTo(ByteWriter* out) const;
+  /// Reads ceil(nbits/8) bytes into a vector of `nbits` bits.
+  static bool DecodeFrom(ByteReader* in, size_t nbits, BitVec* out);
+
+  bool operator==(const BitVec& o) const {
+    return nbits_ == o.nbits_ && words_ == o.words_;
+  }
+
+ private:
+  size_t nbits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace csxa
+
+#endif  // CSXA_COMMON_BITVEC_H_

@@ -1,0 +1,42 @@
+#include "common/hex.h"
+
+namespace csxa {
+
+std::string HexEncode(Span s) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (size_t i = 0; i < s.size(); ++i) {
+    out.push_back(kDigits[s[i] >> 4]);
+    out.push_back(kDigits[s[i] & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int NibbleValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Result<Bytes> HexDecode(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = NibbleValue(hex[i]);
+    int lo = NibbleValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("invalid hex digit");
+    }
+    out.push_back(static_cast<uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+}  // namespace csxa

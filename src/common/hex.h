@@ -1,0 +1,22 @@
+#ifndef CSXA_COMMON_HEX_H_
+#define CSXA_COMMON_HEX_H_
+
+/// \file hex.h
+/// \brief Hexadecimal encode/decode for key material and test vectors.
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace csxa {
+
+/// Lower-case hex encoding of a byte span.
+std::string HexEncode(Span s);
+
+/// Decodes a hex string (upper or lower case, even length) into bytes.
+Result<Bytes> HexDecode(const std::string& hex);
+
+}  // namespace csxa
+
+#endif  // CSXA_COMMON_HEX_H_

@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace csxa {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line, msg.c_str());
+}
+
+namespace internal {
+void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "[FATAL %s:%d] CHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace csxa

@@ -1,0 +1,59 @@
+#ifndef CSXA_COMMON_LOGGING_H_
+#define CSXA_COMMON_LOGGING_H_
+
+/// \file logging.h
+/// \brief Minimal leveled logging and check macros.
+///
+/// Logging defaults to warnings-and-above so tests and benches stay quiet;
+/// CSXA_CHECK aborts on violated internal invariants (never on user input —
+/// user input errors flow through Status).
+
+#include <sstream>
+#include <string>
+
+namespace csxa {
+
+/// Log severity levels in increasing order.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+/// Current global minimum level.
+LogLevel GetLogLevel();
+/// Emits one log line to stderr if `level` passes the global threshold.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+namespace internal {
+/// Stream adapter that emits on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream ss_;
+};
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+#define CSXA_LOG(level) \
+  ::csxa::internal::LogStream(::csxa::LogLevel::level, __FILE__, __LINE__)
+
+/// Aborts with a message when an internal invariant does not hold.
+#define CSXA_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) ::csxa::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+}  // namespace csxa
+
+#endif  // CSXA_COMMON_LOGGING_H_

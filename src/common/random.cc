@@ -1,0 +1,73 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace csxa {
+
+namespace {
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  for (auto& s : s_) s = SplitMix64(&seed);
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to remove modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint64_t Rng::Range(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+std::string Rng::Ident(size_t len) {
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + Uniform(26)));
+  }
+  return s;
+}
+
+size_t Rng::Zipf(size_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF sampling over the (unnormalized) Zipf mass 1/i^theta.
+  // O(n) per call; workloads precompute when hot.
+  double total = 0;
+  for (size_t i = 1; i <= n; ++i) total += 1.0 / std::pow(static_cast<double>(i), theta);
+  double u = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), theta);
+    if (u <= acc) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace csxa

@@ -1,0 +1,49 @@
+#ifndef CSXA_COMMON_RANDOM_H_
+#define CSXA_COMMON_RANDOM_H_
+
+/// \file random.h
+/// \brief Deterministic PRNG for workload generation and tests.
+///
+/// All randomized tests and benchmark workloads are seeded so that runs are
+/// reproducible; this is the xoshiro256** generator seeded via splitmix64.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csxa {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0xC5A4E1B3u);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Bernoulli trial with probability p.
+  bool Chance(double p);
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+  /// Random lowercase ASCII identifier of the given length.
+  std::string Ident(size_t len);
+  /// Zipf-distributed rank in [0, n) with skew parameter `theta` in (0,1].
+  /// theta near 1 is highly skewed; used by workload generators.
+  size_t Zipf(size_t n, double theta);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace csxa
+
+#endif  // CSXA_COMMON_RANDOM_H_

@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace csxa {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kIntegrityError:
+      return "IntegrityError";
+    case StatusCode::kAccessDenied:
+      return "AccessDenied";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace csxa

@@ -1,0 +1,164 @@
+#ifndef CSXA_COMMON_STATUS_H_
+#define CSXA_COMMON_STATUS_H_
+
+/// \file status.h
+/// \brief Error propagation primitives used across all C-SXA libraries.
+///
+/// Following the conventions of large C++ database systems (RocksDB, Arrow),
+/// no exceptions cross public API boundaries. Fallible operations return a
+/// Status, or a Result<T> when they also produce a value.
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace csxa {
+
+/// \brief Coarse error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Malformed input (XML syntax, XPath syntax, corrupt encodings).
+  kParseError = 1,
+  /// Cryptographic integrity check failed (tampered block / bad MAC).
+  kIntegrityError = 2,
+  /// Operation rejected by access control.
+  kAccessDenied = 3,
+  /// The SOE's modeled resource budget (RAM, stack) was exceeded.
+  kResourceExhausted = 4,
+  /// Entity (document, user, key, rule set) not found.
+  kNotFound = 5,
+  /// Caller misused an API (bad argument, wrong state).
+  kInvalidArgument = 6,
+  /// Transport failure (APDU framing, truncated stream).
+  kIoError = 7,
+  /// Feature intentionally outside the supported fragment.
+  kNotSupported = 8,
+  /// Internal invariant violated; indicates a bug.
+  kInternal = 9,
+};
+
+/// \brief Human-readable name for a StatusCode (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Cheap, value-semantic status for fallible operations.
+///
+/// An OK status carries no allocation. Error statuses carry a code and a
+/// message. Statuses are ignorable but callers are expected to check them;
+/// tests assert both success and failure paths.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// \name Named constructors, one per StatusCode.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IntegrityError(std::string msg) {
+    return Status(StatusCode::kIntegrityError, std::move(msg));
+  }
+  static Status AccessDenied(std::string msg) {
+    return Status(StatusCode::kAccessDenied, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK.
+  const std::string& message() const { return msg_; }
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief A value-or-Status sum type, analogous to arrow::Result.
+///
+/// Either holds a T (status().ok() is true) or an error Status. Accessing
+/// the value of an error Result aborts in debug builds; callers must check.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : var_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// The held status: OK() when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(var_);
+  }
+
+  /// Borrow the held value. Requires ok().
+  const T& value() const& { return std::get<T>(var_); }
+  T& value() & { return std::get<T>(var_); }
+  /// Move the held value out. Requires ok().
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  /// Returns the value or a fallback when in error state.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates an error Status out of the current function.
+#define CSXA_RETURN_IF_ERROR(expr)                    \
+  do {                                                \
+    ::csxa::Status _csxa_st = (expr);                 \
+    if (!_csxa_st.ok()) return _csxa_st;              \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression to `lhs`, propagating errors.
+#define CSXA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define CSXA_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define CSXA_ASSIGN_OR_RETURN_NAME(a, b) CSXA_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define CSXA_ASSIGN_OR_RETURN(lhs, rexpr) \
+  CSXA_ASSIGN_OR_RETURN_IMPL(             \
+      CSXA_ASSIGN_OR_RETURN_NAME(_csxa_res_, __LINE__), lhs, rexpr)
+
+}  // namespace csxa
+
+#endif  // CSXA_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+#include "common/varint.h"
+
+namespace csxa {
+
+void PutVarint(ByteWriter* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->PutU8(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(ByteReader* in, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    uint8_t byte;
+    if (!in->GetU8(&byte)) return false;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // over-long encoding
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace csxa

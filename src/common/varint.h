@@ -1,0 +1,29 @@
+#ifndef CSXA_COMMON_VARINT_H_
+#define CSXA_COMMON_VARINT_H_
+
+/// \file varint.h
+/// \brief LEB128 variable-length integer coding.
+///
+/// The skip index stores one subtree size per element; documents are
+/// dominated by small subtrees, so sizes are stored as varints — this is
+/// one half of the paper's "recursive compression" of the index (§2.3).
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace csxa {
+
+/// Appends `v` to `out` in unsigned LEB128 (1 byte per 7 bits).
+void PutVarint(ByteWriter* out, uint64_t v);
+
+/// Decodes a varint at the reader's cursor. Returns false on truncation or
+/// on an over-long (>10 byte) encoding.
+bool GetVarint(ByteReader* in, uint64_t* v);
+
+/// Number of bytes PutVarint would emit for `v`.
+size_t VarintLength(uint64_t v);
+
+}  // namespace csxa
+
+#endif  // CSXA_COMMON_VARINT_H_

@@ -1,0 +1,91 @@
+#ifndef CSXA_CORE_AUTOMATON_H_
+#define CSXA_CORE_AUTOMATON_H_
+
+/// \file automaton.h
+/// \brief Non-deterministic automata compiled from XPath expressions.
+///
+/// Each access rule (and the query) is represented by an NFA as in Fig. 2
+/// of the paper: a navigational path — one state per step, a self-loop for
+/// the descendant axis — plus predicate paths compiled as separate
+/// automata attached to the state where the predicate applies. The
+/// evaluator executes these with a token stack (core/evaluator.h).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace csxa::core {
+
+/// \brief A compiled path automaton (navigational or predicate).
+///
+/// State 0 is the start state; state `i` is reached after matching step
+/// `i`. Each state's outgoing edge leads to state+1 on the step's name
+/// test; a state whose *outgoing* step uses the descendant axis carries a
+/// self-loop matching any element.
+struct CompiledPath {
+  struct State {
+    /// True if the automaton may stay in this state across any element
+    /// (descendant-axis self-loop, drawn as '*' in Fig. 2).
+    bool self_loop = false;
+    /// Name test of the outgoing edge to state index+1 (unused for the
+    /// final state).
+    bool wildcard = false;
+    std::string tag;
+    /// Predicate automata (indices into CompiledRule::predicates)
+    /// instantiated when a token *enters* this state. Empty for predicate
+    /// paths themselves — the fragment forbids nested predicates.
+    std::vector<int> pred_ids;
+  };
+
+  std::vector<State> states;
+  /// Index of the accepting state (== states.size() - 1).
+  int final_state = 0;
+  /// For predicate paths: comparison applied to the matched node's direct
+  /// text. kExists means pure structural existence.
+  xpath::CmpOp op = xpath::CmpOp::kExists;
+  std::string literal;
+
+  /// Number of states.
+  size_t size() const { return states.size(); }
+};
+
+/// \brief A rule (or query) compiled to its navigational automaton plus
+/// predicate automata.
+struct CompiledRule {
+  CompiledPath nav;
+  std::vector<CompiledPath> predicates;
+  /// True for permissions (and for queries).
+  bool positive = true;
+  /// Display string for diagnostics.
+  std::string source;
+
+  /// Total number of NFA states across nav and predicate paths.
+  size_t TotalStates() const;
+};
+
+/// Compiles an absolute path expression. Fails with NotSupported on nested
+/// predicates (outside the streaming fragment).
+Result<CompiledRule> CompileExpr(const xpath::PathExpr& expr, bool positive);
+
+/// Compiles a relative predicate path.
+Result<CompiledPath> CompileRelative(const xpath::RelativePath& path,
+                                     xpath::CmpOp op, const std::string& literal);
+
+/// \brief Conservative reachability test used by the skip index (§2.3).
+///
+/// Returns true if, starting from any state in `active`, the automaton
+/// could reach `final_state` by consuming only elements whose tags satisfy
+/// `has_tag` (wildcard edges require the subtree to be non-empty). When
+/// this returns false for every positive automaton and every live
+/// predicate run, the subtree cannot change any delivery decision and may
+/// be skipped.
+bool CanReachFinal(const CompiledPath& path, const std::vector<int>& active,
+                   const std::function<bool(const std::string&)>& has_tag,
+                   bool subtree_nonempty);
+
+}  // namespace csxa::core
+
+#endif  // CSXA_CORE_AUTOMATON_H_

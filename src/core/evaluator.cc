@@ -1,0 +1,463 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace csxa::core {
+
+using xml::Event;
+using xml::EventType;
+
+size_t StreamingEvaluator::Snapshot::ModeledBytes() const {
+  size_t n = 0;
+  for (const auto& rule_cands : auth) {
+    for (const Candidate& c : rule_cands) n += 3 + c.deps.size();
+  }
+  for (const Candidate& c : query) n += 3 + c.deps.size();
+  return n;
+}
+
+Result<std::unique_ptr<StreamingEvaluator>> StreamingEvaluator::Create(
+    const std::vector<AccessRule>& rules, const xpath::PathExpr* query,
+    xml::EventSink* out) {
+  auto ev = std::unique_ptr<StreamingEvaluator>(new StreamingEvaluator());
+  ev->out_ = out;
+  for (const AccessRule& r : rules) {
+    CSXA_ASSIGN_OR_RETURN(
+        CompiledRule cr, CompileExpr(r.object, r.sign == Sign::kPermit));
+    ev->compiled_rules_.push_back(std::move(cr));
+  }
+  if (query != nullptr) {
+    CSXA_ASSIGN_OR_RETURN(CompiledRule cq, CompileExpr(*query, true));
+    ev->compiled_query_ = std::make_unique<CompiledRule>(std::move(cq));
+  }
+  // Wire the runs after all compilations (stable pointers).
+  for (CompiledRule& cr : ev->compiled_rules_) {
+    NavRun run;
+    run.rule = &cr;
+    run.positive = cr.positive;
+    run.tokens.push_back({Token{0, {}}});
+    run.cands.push_back({});
+    ev->runs_.push_back(std::move(run));
+  }
+  if (ev->compiled_query_) {
+    auto qr = std::make_unique<NavRun>();
+    qr->rule = ev->compiled_query_.get();
+    qr->positive = true;
+    qr->tokens.push_back({Token{0, {}}});
+    qr->cands.push_back({});
+    ev->query_run_ = std::move(qr);
+  }
+  return ev;
+}
+
+void StreamingEvaluator::AdvanceNav(NavRun* run, const std::string& tag) {
+  const CompiledPath& nav = run->rule->nav;
+  const std::vector<Token>& top = run->tokens.back();
+  std::vector<Token> next;
+  std::vector<Candidate> new_cands;
+  // One obligation per (predicate, node) even if several tokens enter the
+  // predicated state at this node.
+  std::vector<int> pred_cache(run->rule->predicates.size(), -1);
+
+  for (const Token& t : top) {
+    const CompiledPath::State& st = nav.states[static_cast<size_t>(t.state)];
+    ++stats_.nfa_transitions;
+    if (st.self_loop) {
+      next.push_back(t);
+    }
+    if (t.state + 1 <= nav.final_state && (st.wildcard || st.tag == tag)) {
+      Token nt;
+      nt.state = t.state + 1;
+      nt.deps = t.deps;
+      for (int pid : nav.states[static_cast<size_t>(nt.state)].pred_ids) {
+        int& cached = pred_cache[static_cast<size_t>(pid)];
+        if (cached < 0) {
+          cached = obligations_.Create(
+              &run->rule->predicates[static_cast<size_t>(pid)], depth_);
+          ++stats_.obligations_created;
+        }
+        nt.deps.push_back(cached);
+      }
+      if (nt.state == nav.final_state) {
+        Candidate c;
+        c.depth = depth_;
+        c.deps = nt.deps;
+        new_cands.push_back(std::move(c));
+        ++stats_.candidates_created;
+      }
+      // Dedupe identical tokens.
+      bool dup = false;
+      for (const Token& e : next) {
+        if (e.state == nt.state && e.deps == nt.deps) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) next.push_back(std::move(nt));
+    }
+  }
+  run->tokens.push_back(std::move(next));
+  run->cands.push_back(std::move(new_cands));
+}
+
+StreamingEvaluator::Snapshot StreamingEvaluator::BuildSnapshot() const {
+  Snapshot snap;
+  snap.auth.resize(runs_.size());
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    for (const auto& level : runs_[i].cands) {
+      for (const Candidate& c : level) snap.auth[i].push_back(c);
+    }
+  }
+  if (query_run_) {
+    snap.has_query = true;
+    for (const auto& level : query_run_->cands) {
+      for (const Candidate& c : level) snap.query.push_back(c);
+    }
+  }
+  return snap;
+}
+
+StreamingEvaluator::CandStatus StreamingEvaluator::StatusOf(
+    const Candidate& c) const {
+  bool pending = false;
+  for (int dep : c.deps) {
+    switch (obligations_.state(dep)) {
+      case ObligationSet::State::kFalse:
+        return CandStatus::kDead;
+      case ObligationSet::State::kPending:
+        pending = true;
+        break;
+      case ObligationSet::State::kTrue:
+        break;
+    }
+  }
+  return pending ? CandStatus::kPending : CandStatus::kHolds;
+}
+
+StreamingEvaluator::DecisionResult StreamingEvaluator::Decide(
+    const Snapshot& snap) const {
+  // Authorization, bracketed by two extreme worlds. Pending candidates of
+  // negative rules hold in the deny-world; of positive rules in the
+  // permit-world. Per-rule monotonicity makes the bracket exact (see
+  // DESIGN.md §4).
+  auto auth_world = [&](bool deny_world) -> bool {
+    int best_depth = -1;
+    bool deny_at_best = false;
+    for (size_t i = 0; i < snap.auth.size(); ++i) {
+      bool positive = runs_[i].positive;
+      int eff = -1;
+      for (const Candidate& c : snap.auth[i]) {
+        CandStatus s = StatusOf(c);
+        bool holds = (s == CandStatus::kHolds) ||
+                     (s == CandStatus::kPending &&
+                      (deny_world ? !positive : positive));
+        if (holds && c.depth > eff) eff = c.depth;
+      }
+      if (eff < 0) continue;
+      if (eff > best_depth) {
+        best_depth = eff;
+        deny_at_best = !positive;
+      } else if (eff == best_depth && !positive) {
+        deny_at_best = true;  // Denial-Takes-Precedence at equal depth
+      }
+    }
+    if (best_depth < 0) return false;  // closed policy
+    return !deny_at_best;
+  };
+  DecisionResult r;
+  bool permit_in_deny_world = auth_world(true);
+  bool permit_in_permit_world = auth_world(false);
+  if (permit_in_deny_world == permit_in_permit_world) {
+    r.auth = permit_in_deny_world ? Tri::kYes : Tri::kNo;
+  } else {
+    r.auth = Tri::kPending;
+  }
+
+  if (!snap.has_query) {
+    r.query = Tri::kYes;
+  } else {
+    bool in_min = false;  // pendings assumed false
+    bool in_max = false;  // pendings assumed true
+    for (const Candidate& c : snap.query) {
+      CandStatus s = StatusOf(c);
+      if (s == CandStatus::kHolds) {
+        in_min = true;
+        in_max = true;
+      } else if (s == CandStatus::kPending) {
+        in_max = true;
+      }
+    }
+    r.query = (in_min == in_max) ? (in_min ? Tri::kYes : Tri::kNo)
+                                 : Tri::kPending;
+  }
+
+  if (r.auth == Tri::kNo || r.query == Tri::kNo) {
+    r.delivered = Tri::kNo;
+  } else if (r.auth == Tri::kYes && r.query == Tri::kYes) {
+    r.delivered = Tri::kYes;
+  } else {
+    r.delivered = Tri::kPending;
+  }
+  return r;
+}
+
+Status StreamingEvaluator::OnEvent(const Event& event) {
+  if (finished_) {
+    return Status::InvalidArgument("event after end of stream");
+  }
+  ++stats_.events;
+  switch (event.type) {
+    case EventType::kOpen:
+      return HandleOpen(event);
+    case EventType::kValue:
+      return HandleValue(event);
+    case EventType::kClose:
+      return HandleClose(event);
+    case EventType::kEnd:
+      return Finish();
+  }
+  return Status::Internal("unknown event type");
+}
+
+Status StreamingEvaluator::HandleOpen(const Event& event) {
+  ++depth_;
+  // 1. Existing predicate instances observe the open (they belong to
+  //    ancestors); resolutions may unblock the pipeline later.
+  obligations_.OnOpen(event.name, depth_);
+  // 2. Rule and query automata advance; new obligations/candidates appear.
+  for (NavRun& run : runs_) AdvanceNav(&run, event.name);
+  if (query_run_) AdvanceNav(query_run_.get(), event.name);
+  // 3. Snapshot and immediate decision attempt (also powers skip checks).
+  OutEvent ev;
+  ev.event = event;
+  ev.depth = depth_;
+  ev.snapshot = BuildSnapshot();
+  DecisionResult d = Decide(ev.snapshot);
+  last_open_decision_ = d;
+  last_open_decided_definitively_ = (d.delivered != Tri::kPending);
+  if (d.delivered == Tri::kPending) {
+    ++stats_.nodes_initially_pending;
+  } else {
+    ev.decided = true;
+    ev.delivered = (d.delivered == Tri::kYes);
+    if (ev.delivered) {
+      ++stats_.nodes_permitted;
+    } else {
+      ++stats_.nodes_denied;
+    }
+  }
+  pipeline_.push_back(std::move(ev));
+  CSXA_RETURN_IF_ERROR(FlushPipeline());
+  UpdatePeaks();
+  return Status::OK();
+}
+
+Status StreamingEvaluator::HandleValue(const Event& event) {
+  if (depth_ == 0) {
+    return Status::InvalidArgument("text event outside any element");
+  }
+  obligations_.OnValue(event.text, depth_);
+  OutEvent ev;
+  ev.event = event;
+  ev.depth = depth_;
+  pipeline_.push_back(std::move(ev));
+  CSXA_RETURN_IF_ERROR(FlushPipeline());
+  UpdatePeaks();
+  return Status::OK();
+}
+
+Status StreamingEvaluator::HandleClose(const Event& event) {
+  if (depth_ == 0) {
+    return Status::InvalidArgument("close event without open");
+  }
+  // Predicate instances whose context closes here resolve to false; value
+  // captures at this depth complete.
+  obligations_.OnClose(depth_);
+  for (NavRun& run : runs_) {
+    run.tokens.pop_back();
+    run.cands.pop_back();
+  }
+  if (query_run_) {
+    query_run_->tokens.pop_back();
+    query_run_->cands.pop_back();
+  }
+  OutEvent ev;
+  ev.event = event;
+  ev.depth = depth_;
+  pipeline_.push_back(std::move(ev));
+  --depth_;
+  last_open_decided_definitively_ = false;  // stale after close
+  CSXA_RETURN_IF_ERROR(FlushPipeline());
+  UpdatePeaks();
+  return Status::OK();
+}
+
+Status StreamingEvaluator::FlushPipeline() {
+  while (!pipeline_.empty()) {
+    OutEvent& ev = pipeline_.front();
+    if (ev.event.type == EventType::kOpen && !ev.decided) {
+      DecisionResult d = Decide(ev.snapshot);
+      if (d.delivered == Tri::kPending) break;  // head still blocked
+      ev.decided = true;
+      ev.delivered = (d.delivered == Tri::kYes);
+      if (ev.delivered) {
+        ++stats_.nodes_permitted;
+      } else {
+        ++stats_.nodes_denied;
+      }
+    }
+    CSXA_RETURN_IF_ERROR(DispatchToComposer(&ev));
+    pipeline_.pop_front();
+  }
+  return Status::OK();
+}
+
+Status StreamingEvaluator::DispatchToComposer(OutEvent* ev) {
+  switch (ev->event.type) {
+    case EventType::kOpen:
+      return ComposeOpen(ev->event, ev->delivered);
+    case EventType::kValue:
+      return ComposeValue(ev->event);
+    case EventType::kClose:
+      return ComposeClose(ev->event);
+    case EventType::kEnd:
+      return Status::OK();
+  }
+  return Status::Internal("unknown out event");
+}
+
+Status StreamingEvaluator::ComposeOpen(const Event& event, bool delivered) {
+  ComposerEntry entry;
+  entry.tag = event.name;
+  entry.attrs = event.attrs;
+  entry.delivered = delivered;
+  composer_.push_back(std::move(entry));
+  if (delivered) {
+    CSXA_RETURN_IF_ERROR(EmitScaffolding());
+    ComposerEntry& self = composer_.back();
+    CSXA_RETURN_IF_ERROR(out_->OnEvent(Event::Open(self.tag, self.attrs)));
+    self.emitted = true;
+  }
+  return Status::OK();
+}
+
+Status StreamingEvaluator::EmitScaffolding() {
+  // Emit bare open tags (no attributes) for every unemitted ancestor of the
+  // entry at the top of the composer stack.
+  for (size_t i = 0; i + 1 < composer_.size(); ++i) {
+    if (!composer_[i].emitted) {
+      CSXA_RETURN_IF_ERROR(out_->OnEvent(Event::Open(composer_[i].tag)));
+      composer_[i].emitted = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status StreamingEvaluator::ComposeValue(const Event& event) {
+  if (!composer_.empty() && composer_.back().delivered) {
+    return out_->OnEvent(event);
+  }
+  return Status::OK();
+}
+
+Status StreamingEvaluator::ComposeClose(const Event& event) {
+  if (composer_.empty()) {
+    return Status::Internal("composer close without open");
+  }
+  Status st = Status::OK();
+  if (composer_.back().emitted) {
+    st = out_->OnEvent(Event::Close(event.name));
+  }
+  composer_.pop_back();
+  return st;
+}
+
+Status StreamingEvaluator::Finish() {
+  if (finished_) return Status::OK();
+  CSXA_RETURN_IF_ERROR(FlushPipeline());
+  if (!pipeline_.empty()) {
+    return Status::Internal("pending output not resolved at end of stream");
+  }
+  if (depth_ != 0) {
+    return Status::InvalidArgument("unbalanced document: depth " +
+                                   std::to_string(depth_) + " at end");
+  }
+  finished_ = true;
+  return out_->OnEvent(Event::End());
+}
+
+bool StreamingEvaluator::CanSkipCurrentSubtree(
+    const std::function<bool(const std::string&)>& has_tag,
+    bool subtree_nonempty, bool /*has_text*/) {
+  // Only a definitively-undelivered node may be skipped.
+  if (!last_open_decided_definitively_ ||
+      last_open_decision_.delivered != Tri::kNo) {
+    return false;
+  }
+  // Live predicate instances must not be resolvable inside the subtree.
+  if (obligations_.BlocksSkip(has_tag, subtree_nonempty, depth_)) {
+    return false;
+  }
+  auto nav_reachable = [&](const NavRun& run) {
+    std::vector<int> active;
+    for (const Token& t : run.tokens.back()) {
+      if (t.state != run.rule->nav.final_state) active.push_back(t.state);
+    }
+    return CanReachFinal(run.rule->nav, active, has_tag, subtree_nonempty);
+  };
+  // Case A: authorization is definitively deny and no positive rule can
+  // produce a deeper (overriding) match inside the subtree.
+  if (last_open_decision_.auth == Tri::kNo) {
+    bool positive_reachable = false;
+    for (const NavRun& run : runs_) {
+      if (run.positive && nav_reachable(run)) {
+        positive_reachable = true;
+        break;
+      }
+    }
+    if (!positive_reachable) return true;
+  }
+  // Case B: the query definitively excludes this region and cannot match
+  // inside it; nothing inside can be delivered regardless of rules.
+  if (query_run_ && last_open_decision_.query == Tri::kNo &&
+      !nav_reachable(*query_run_)) {
+    return true;
+  }
+  return false;
+}
+
+size_t StreamingEvaluator::ModeledRamBytes() const {
+  size_t n = 0;
+  auto run_bytes = [](const NavRun& run) {
+    size_t b = 0;
+    for (const auto& level : run.tokens) {
+      for (const Token& t : level) b += 2 + t.deps.size();
+    }
+    for (const auto& level : run.cands) {
+      for (const Candidate& c : level) b += 3 + c.deps.size();
+    }
+    return b;
+  };
+  for (const NavRun& run : runs_) n += run_bytes(run);
+  if (query_run_) n += run_bytes(*query_run_);
+  n += obligations_.ModeledBytes();
+  for (const OutEvent& ev : pipeline_) {
+    n += 2 + ev.event.name.size() + ev.event.text.size();
+    for (const auto& a : ev.event.attrs) n += a.name.size() + a.value.size();
+    n += ev.snapshot.ModeledBytes();
+  }
+  for (const ComposerEntry& e : composer_) n += 2 + e.tag.size();
+  return n;
+}
+
+void StreamingEvaluator::UpdatePeaks() {
+  size_t ram = ModeledRamBytes();
+  if (ram > stats_.modeled_ram_peak) stats_.modeled_ram_peak = ram;
+  if (pipeline_.size() > stats_.buffered_events_peak) {
+    stats_.buffered_events_peak = pipeline_.size();
+  }
+}
+
+}  // namespace csxa::core

@@ -1,0 +1,214 @@
+#ifndef CSXA_CORE_EVALUATOR_H_
+#define CSXA_CORE_EVALUATOR_H_
+
+/// \file evaluator.h
+/// \brief The streaming access-control evaluator — the paper's core
+/// contribution (§2.3).
+///
+/// The evaluator consumes open/value/close events and produces the
+/// *delivered view*: every permitted element (with attributes and text)
+/// that also lies in the optional query scope, plus the bare tags of their
+/// denied ancestors (structure scaffolding preserving well-formedness).
+///
+/// Machinery, mapped to the paper's vocabulary:
+///  - each rule is a non-deterministic automaton (core/automaton.h);
+///  - a *token stack* tracks the set of active states per depth,
+///    materializing all paths the NFA can follow;
+///  - a *predicate set* (core/obligation.h) records predicate instances
+///    and their resolution;
+///  - the per-rule *match stacks* of candidates generalize the paper's
+///    sign stack: the conflict-resolution decision (closed policy,
+///    Denial-Takes-Precedence, Most-Specific-Object-Takes-Precedence) is
+///    computed from the deepest holding candidates;
+///  - *pending* rules (final state reached, predicates unresolved) make
+///    node decisions tri-state; undecidable output is buffered in an
+///    order-preserving pipeline and flushed when obligations resolve.
+///
+/// The evaluator never materializes the document; its modeled memory
+/// footprint (ModeledRamBytes) is what the smart card would consume.
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/automaton.h"
+#include "core/obligation.h"
+#include "core/rule.h"
+#include "xml/event.h"
+
+namespace csxa::core {
+
+/// Tri-state outcome used for authorization, query scope and delivery.
+enum class Tri : uint8_t { kNo = 0, kYes = 1, kPending = 2 };
+
+/// \brief Counters exposed for benchmarks and the SOE cost model.
+struct EvaluatorStats {
+  size_t events = 0;
+  size_t nfa_transitions = 0;
+  size_t obligations_created = 0;
+  size_t candidates_created = 0;
+  size_t nodes_permitted = 0;
+  size_t nodes_denied = 0;
+  size_t nodes_initially_pending = 0;
+  size_t buffered_events_peak = 0;
+  size_t modeled_ram_peak = 0;
+  size_t subtrees_skipped = 0;
+};
+
+/// \brief Streaming evaluator for one (document, subject[, query]) session.
+class StreamingEvaluator : public xml::EventSink {
+ public:
+  /// Creates an evaluator for `rules` (already filtered to one subject).
+  /// `query` may be null (whole authorized view). Delivered-view events are
+  /// pushed into `out`, which must outlive the evaluator.
+  static Result<std::unique_ptr<StreamingEvaluator>> Create(
+      const std::vector<AccessRule>& rules, const xpath::PathExpr* query,
+      xml::EventSink* out);
+
+  /// Feeds the next document event (kEnd finishes the stream).
+  Status OnEvent(const xml::Event& event) override;
+
+  /// Must be called (or an kEnd event fed) after the last event; verifies
+  /// that all pending output was resolved and flushed.
+  Status Finish();
+
+  /// \name Skip-index support (§2.3)
+  /// @{
+  /// Decides whether the subtree of the element just opened can be skipped
+  /// without changing any output: its root's delivery must be definitively
+  /// negative, no positive automaton may reach a match inside, and no live
+  /// predicate instance may resolve inside. `has_tag` answers membership
+  /// in the subtree's tag set; `subtree_nonempty` tells whether the
+  /// subtree contains at least one element; `has_text` whether it contains
+  /// character data.
+  bool CanSkipCurrentSubtree(
+      const std::function<bool(const std::string&)>& has_tag,
+      bool subtree_nonempty, bool has_text);
+  /// Records that the caller skipped the current subtree (stats only; the
+  /// caller must next feed the matching close event).
+  void NoteSubtreeSkipped() { ++stats_.subtrees_skipped; }
+  /// @}
+
+  /// Current modeled on-card memory footprint in bytes.
+  size_t ModeledRamBytes() const;
+  /// Statistics accumulated so far.
+  const EvaluatorStats& stats() const { return stats_; }
+  /// Navigational plus predicate NFA transitions (cost-model input).
+  size_t TotalTransitions() const {
+    return stats_.nfa_transitions + obligations_.transitions();
+  }
+  /// Current element depth (root = 1).
+  int depth() const { return depth_; }
+
+ private:
+  // --- decision machinery -------------------------------------------------
+
+  // A navigational match candidate: the rule matched (or may match) at
+  // `depth`; it holds iff all obligations in `deps` resolve true.
+  struct Candidate {
+    int depth = 0;
+    std::vector<int> deps;
+  };
+
+  // Snapshot of all candidates relevant to one node's decision: per rule,
+  // every candidate on the current root-to-node path.
+  struct Snapshot {
+    std::vector<std::vector<Candidate>> auth;  // indexed by rule
+    std::vector<Candidate> query;
+    bool has_query = false;
+    size_t ModeledBytes() const;
+  };
+
+  struct DecisionResult {
+    Tri auth = Tri::kNo;
+    Tri query = Tri::kYes;
+    Tri delivered = Tri::kNo;
+  };
+
+  // One NFA token: active state plus the obligations accumulated along its
+  // path through predicated steps.
+  struct Token {
+    int state = 0;
+    std::vector<int> deps;
+  };
+
+  // Execution state of one rule's (or the query's) navigational automaton.
+  struct NavRun {
+    const CompiledRule* rule = nullptr;
+    bool positive = true;
+    // Token stack: tokens_[d] = active tokens at depth d (0 = virtual root).
+    std::vector<std::vector<Token>> tokens;
+    // Match stack: cands[d] = candidates created at depth d.
+    std::vector<std::vector<Candidate>> cands;
+  };
+
+  // A buffered output event awaiting decision or order release.
+  struct OutEvent {
+    xml::Event event;
+    int depth = 0;
+    // Only for kOpen events:
+    Snapshot snapshot;
+    bool decided = false;
+    bool delivered = false;
+  };
+
+  StreamingEvaluator() = default;
+
+  Status HandleOpen(const xml::Event& event);
+  Status HandleValue(const xml::Event& event);
+  Status HandleClose(const xml::Event& event);
+
+  // Advances one automaton on an open event; records candidates and
+  // instantiates obligations. Returns false on internal error.
+  void AdvanceNav(NavRun* run, const std::string& tag);
+
+  // Builds the decision snapshot for the element just opened.
+  Snapshot BuildSnapshot() const;
+  // Evaluates a snapshot under current obligation resolutions.
+  DecisionResult Decide(const Snapshot& snap) const;
+  // Candidate status under current resolutions.
+  enum class CandStatus : uint8_t { kHolds, kDead, kPending };
+  CandStatus StatusOf(const Candidate& c) const;
+
+  // Order-preserving output: append then flush as far as decisions allow.
+  Status FlushPipeline();
+  Status DispatchToComposer(OutEvent* ev);
+
+  // --- composer: lazy ancestors / scaffolding ------------------------------
+  struct ComposerEntry {
+    std::string tag;
+    std::vector<xml::Attribute> attrs;
+    bool delivered = false;
+    bool emitted = false;
+  };
+  Status ComposeOpen(const xml::Event& event, bool delivered);
+  Status ComposeValue(const xml::Event& event);
+  Status ComposeClose(const xml::Event& event);
+  Status EmitScaffolding();
+
+  void UpdatePeaks();
+
+  // --- members -------------------------------------------------------------
+  std::vector<CompiledRule> compiled_rules_;
+  std::unique_ptr<CompiledRule> compiled_query_;
+  std::vector<NavRun> runs_;        // one per rule
+  std::unique_ptr<NavRun> query_run_;
+  ObligationSet obligations_;
+  xml::EventSink* out_ = nullptr;
+
+  int depth_ = 0;
+  bool finished_ = false;
+  std::deque<OutEvent> pipeline_;
+  std::vector<ComposerEntry> composer_;
+  // Decision for the innermost open element (used by CanSkipCurrentSubtree).
+  DecisionResult last_open_decision_;
+  bool last_open_decided_definitively_ = false;
+
+  EvaluatorStats stats_;
+};
+
+}  // namespace csxa::core
+
+#endif  // CSXA_CORE_EVALUATOR_H_

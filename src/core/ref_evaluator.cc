@@ -1,0 +1,147 @@
+#include "core/ref_evaluator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "xpath/eval.h"
+
+namespace csxa::core {
+
+using xml::DomDocument;
+using xml::DomNode;
+
+namespace {
+
+// Match sets of every rule, precomputed once per document.
+struct MatchContext {
+  std::vector<std::unordered_set<const DomNode*>> rule_matches;
+  std::vector<bool> rule_positive;
+  std::unordered_set<const DomNode*> query_matches;
+  bool has_query = false;
+};
+
+MatchContext BuildContext(const DomNode* root,
+                          const std::vector<AccessRule>& rules,
+                          const xpath::PathExpr* query) {
+  MatchContext ctx;
+  for (const AccessRule& r : rules) {
+    auto nodes = xpath::SelectNodes(root, r.object);
+    ctx.rule_matches.emplace_back(nodes.begin(), nodes.end());
+    ctx.rule_positive.push_back(r.sign == Sign::kPermit);
+  }
+  if (query != nullptr) {
+    ctx.has_query = true;
+    auto nodes = xpath::SelectNodes(root, *query);
+    ctx.query_matches.insert(nodes.begin(), nodes.end());
+  }
+  return ctx;
+}
+
+// Authorization of `node` from precomputed match sets: walk
+// ancestor-or-self, find per-rule deepest match, apply
+// Most-Specific-Object then Denial-Takes-Precedence, closed default.
+NodeAuth AuthorizeWithContext(const MatchContext& ctx, const DomNode* node) {
+  NodeAuth out;
+  int best_depth = -1;
+  bool deny_at_best = false;
+  for (size_t i = 0; i < ctx.rule_matches.size(); ++i) {
+    int eff = -1;
+    for (const DomNode* a = node; a != nullptr; a = a->parent()) {
+      if (ctx.rule_matches[i].count(a)) {
+        eff = a->depth();  // deepest first: stop at first hit walking up
+        break;
+      }
+    }
+    if (eff < 0) continue;
+    if (eff > best_depth) {
+      best_depth = eff;
+      deny_at_best = !ctx.rule_positive[i];
+    } else if (eff == best_depth && !ctx.rule_positive[i]) {
+      deny_at_best = true;
+    }
+  }
+  out.deciding_depth = best_depth;
+  out.permitted = best_depth >= 0 && !deny_at_best;
+  return out;
+}
+
+bool InQueryScope(const MatchContext& ctx, const DomNode* node) {
+  if (!ctx.has_query) return true;
+  for (const DomNode* a = node; a != nullptr; a = a->parent()) {
+    if (ctx.query_matches.count(a)) return true;
+  }
+  return false;
+}
+
+// Recursively builds the pruned view. Returns nullptr when the subtree
+// contributes nothing.
+std::unique_ptr<DomNode> Prune(const MatchContext& ctx, const DomNode* node) {
+  bool delivered =
+      AuthorizeWithContext(ctx, node).permitted && InQueryScope(ctx, node);
+  std::vector<std::unique_ptr<DomNode>> kept_children;
+  for (const auto& c : node->children()) {
+    if (c->is_element()) {
+      auto kept = Prune(ctx, c.get());
+      if (kept) kept_children.push_back(std::move(kept));
+    } else if (c->is_text() && delivered) {
+      kept_children.push_back(DomNode::Text(c->text()));
+    }
+  }
+  if (!delivered && kept_children.empty()) return nullptr;
+  // Delivered nodes keep their attributes; scaffolding nodes are bare tags.
+  auto out = delivered ? DomNode::Element(node->tag(), node->attrs())
+                       : DomNode::Element(node->tag());
+  for (auto& c : kept_children) out->AddChild(std::move(c));
+  return out;
+}
+
+}  // namespace
+
+NodeAuth AuthorizeNode(const DomNode* root,
+                       const std::vector<AccessRule>& rules,
+                       const DomNode* node) {
+  MatchContext ctx = BuildContext(root, rules, nullptr);
+  return AuthorizeWithContext(ctx, node);
+}
+
+Result<DomDocument> BuildAuthorizedView(const DomDocument& doc,
+                                        const std::vector<AccessRule>& rules,
+                                        const xpath::PathExpr* query) {
+  if (doc.root() == nullptr) return DomDocument();
+  MatchContext ctx = BuildContext(doc.root(), rules, query);
+  auto pruned = Prune(ctx, doc.root());
+  return DomDocument(std::move(pruned));
+}
+
+std::vector<bool> AuthorizeAll(const DomDocument& doc,
+                               const std::vector<AccessRule>& rules) {
+  std::vector<bool> out;
+  if (doc.root() == nullptr) return out;
+  MatchContext ctx = BuildContext(doc.root(), rules, nullptr);
+  std::vector<const DomNode*> elements;
+  doc.root()->CollectElements(&elements);
+  out.reserve(elements.size());
+  for (const DomNode* e : elements) {
+    out.push_back(AuthorizeWithContext(ctx, e).permitted);
+  }
+  return out;
+}
+
+double AuthorizedFraction(const DomDocument& doc,
+                          const std::vector<AccessRule>& rules,
+                          const xpath::PathExpr* query) {
+  if (doc.root() == nullptr) return 0.0;
+  MatchContext ctx = BuildContext(doc.root(), rules, query);
+  std::vector<const DomNode*> elements;
+  doc.root()->CollectElements(&elements);
+  if (elements.empty()) return 0.0;
+  size_t delivered = 0;
+  for (const DomNode* e : elements) {
+    if (AuthorizeWithContext(ctx, e).permitted && InQueryScope(ctx, e)) {
+      ++delivered;
+    }
+  }
+  return static_cast<double>(delivered) / static_cast<double>(elements.size());
+}
+
+}  // namespace csxa::core

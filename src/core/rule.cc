@@ -1,0 +1,126 @@
+#include "core/rule.h"
+
+#include <sstream>
+
+namespace csxa::core {
+
+Status RuleSet::Add(Sign sign, const std::string& subject,
+                    const std::string& object) {
+  if (subject.empty()) return Status::InvalidArgument("empty rule subject");
+  CSXA_ASSIGN_OR_RETURN(xpath::PathExpr expr, xpath::ParsePath(object));
+  AccessRule r;
+  r.sign = sign;
+  r.subject = subject;
+  r.object = std::move(expr);
+  r.object_text = object;
+  rules_.push_back(std::move(r));
+  return Status::OK();
+}
+
+Result<RuleSet> RuleSet::ParseText(const std::string& text) {
+  RuleSet set;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Trim leading whitespace.
+    size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    if (line[b] == '#') continue;
+    char sign_char = line[b];
+    if (sign_char != '+' && sign_char != '-') {
+      return Status::ParseError("rule line " + std::to_string(lineno) +
+                                ": expected '+' or '-'");
+    }
+    size_t subj_begin = line.find_first_not_of(" \t", b + 1);
+    if (subj_begin == std::string::npos) {
+      return Status::ParseError("rule line " + std::to_string(lineno) +
+                                ": missing subject");
+    }
+    size_t subj_end = line.find_first_of(" \t", subj_begin);
+    if (subj_end == std::string::npos) {
+      return Status::ParseError("rule line " + std::to_string(lineno) +
+                                ": missing object");
+    }
+    std::string subject = line.substr(subj_begin, subj_end - subj_begin);
+    size_t obj_begin = line.find_first_not_of(" \t", subj_end);
+    if (obj_begin == std::string::npos) {
+      return Status::ParseError("rule line " + std::to_string(lineno) +
+                                ": missing object");
+    }
+    size_t obj_end = line.find_last_not_of(" \t\r");
+    std::string object = line.substr(obj_begin, obj_end - obj_begin + 1);
+    Status st = set.Add(sign_char == '+' ? Sign::kPermit : Sign::kDeny, subject,
+                        object);
+    if (!st.ok()) {
+      return Status::ParseError("rule line " + std::to_string(lineno) + ": " +
+                                st.ToString());
+    }
+  }
+  return set;
+}
+
+std::string RuleSet::ToText() const {
+  std::string out;
+  for (const AccessRule& r : rules_) {
+    out += (r.sign == Sign::kPermit) ? "+ " : "- ";
+    out += r.subject;
+    out += " ";
+    out += r.object_text.empty() ? xpath::ToString(r.object) : r.object_text;
+    out += "\n";
+  }
+  return out;
+}
+
+void RuleSet::EncodeTo(ByteWriter* out) const {
+  out->PutU32(static_cast<uint32_t>(rules_.size()));
+  for (const AccessRule& r : rules_) {
+    out->PutU8(static_cast<uint8_t>(r.sign));
+    out->PutString(r.subject);
+    out->PutString(r.object_text.empty() ? xpath::ToString(r.object)
+                                         : r.object_text);
+  }
+}
+
+Result<RuleSet> RuleSet::DecodeFrom(ByteReader* in) {
+  uint32_t n;
+  if (!in->GetU32(&n)) return Status::ParseError("rule set truncated");
+  RuleSet set;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint8_t sign;
+    std::string subject, object;
+    if (!in->GetU8(&sign) || !in->GetString(&subject) ||
+        !in->GetString(&object)) {
+      return Status::ParseError("rule set truncated");
+    }
+    CSXA_RETURN_IF_ERROR(
+        set.Add(sign == 0 ? Sign::kPermit : Sign::kDeny, subject, object));
+  }
+  return set;
+}
+
+std::vector<AccessRule> RuleSet::ForSubject(const std::string& subject) const {
+  std::vector<AccessRule> out;
+  for (const AccessRule& r : rules_) {
+    if (r.subject == subject) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::string> RuleSet::Subjects() const {
+  std::vector<std::string> out;
+  for (const AccessRule& r : rules_) {
+    bool seen = false;
+    for (const std::string& s : out) {
+      if (s == r.subject) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(r.subject);
+  }
+  return out;
+}
+
+}  // namespace csxa::core

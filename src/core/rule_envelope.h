@@ -1,0 +1,59 @@
+#ifndef CSXA_CORE_RULE_ENVELOPE_H_
+#define CSXA_CORE_RULE_ENVELOPE_H_
+
+/// \file rule_envelope.h
+/// \brief Versioned, sealed rule sets — the access-rights update protocol.
+///
+/// Demonstration objective 2 (§1) stresses that "the tamper resistance of
+/// the access control relies not only on the SOE but also on the whole
+/// environment (e.g., communication protocol, access rights update
+/// protocol)". The rules blob on the DSP is encrypted and MACed, so it
+/// cannot be forged — but an untrusted DSP could *replay a stale version*
+/// (e.g., re-serve a permissive policy after the owner restricted it).
+///
+/// Defense: the owner seals a monotonically increasing version number
+/// inside the envelope; the card records, in its secure stable storage,
+/// the highest version it has seen per document and refuses anything
+/// older. A card that never saw the newer policy cannot detect the
+/// rollback — the inherent limit of offline revocation, shared with the
+/// original system.
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "core/rule.h"
+#include "crypto/container.h"
+
+namespace csxa::core {
+
+/// A rule set together with its owner-assigned version.
+struct VersionedRules {
+  uint64_t version = 0;
+  RuleSet rules;
+};
+
+/// Seals (version || rules) under the document key's record format.
+inline Bytes SealRuleSet(const crypto::SymmetricKey& key, const RuleSet& rules,
+                         uint64_t version, Rng* rng) {
+  ByteWriter plain;
+  plain.PutU64(version);
+  rules.EncodeTo(&plain);
+  return crypto::SealRecord(key, plain.bytes(), rng);
+}
+
+/// Opens a sealed rule envelope, verifying its MAC.
+inline Result<VersionedRules> OpenRuleSet(const crypto::SymmetricKey& key,
+                                          Span sealed) {
+  CSXA_ASSIGN_OR_RETURN(Bytes plain, crypto::OpenRecord(key, sealed));
+  ByteReader r(plain);
+  VersionedRules out;
+  if (!r.GetU64(&out.version)) {
+    return Status::ParseError("rule envelope missing version");
+  }
+  CSXA_ASSIGN_OR_RETURN(out.rules, RuleSet::DecodeFrom(&r));
+  return out;
+}
+
+}  // namespace csxa::core
+
+#endif  // CSXA_CORE_RULE_ENVELOPE_H_

@@ -1,0 +1,46 @@
+#ifndef CSXA_CRYPTO_AES_H_
+#define CSXA_CRYPTO_AES_H_
+
+/// \file aes.h
+/// \brief AES-128 block cipher (FIPS-197), implemented from scratch.
+///
+/// The SOE in the paper relies on a card-resident block cipher to decrypt
+/// documents and rules. This is a straightforward table-free byte-oriented
+/// implementation: clarity and auditability over speed (the smart card CPU
+/// is the modeled bottleneck anyway, see soe/cost_model.h).
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace csxa::crypto {
+
+/// AES block size in bytes.
+inline constexpr size_t kAesBlockSize = 16;
+/// AES-128 key size in bytes.
+inline constexpr size_t kAesKeySize = 16;
+
+/// \brief AES-128 with precomputed key schedule.
+///
+/// Thread-compatible: const methods may be called concurrently.
+class Aes128 {
+ public:
+  /// Expands a 16-byte key. Returns InvalidArgument on wrong key size.
+  static Result<Aes128> New(Span key);
+
+  /// Encrypts one 16-byte block in place (`out` may alias `in`).
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+  /// Decrypts one 16-byte block in place (`out` may alias `in`).
+  void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+ private:
+  Aes128() = default;
+  // 11 round keys of 16 bytes each.
+  std::array<uint8_t, 176> round_keys_{};
+};
+
+}  // namespace csxa::crypto
+
+#endif  // CSXA_CRYPTO_AES_H_

@@ -1,0 +1,29 @@
+#include "crypto/keys.h"
+
+#include "common/logging.h"
+
+namespace csxa::crypto {
+
+SymmetricKey SymmetricKey::Generate(Rng* rng) {
+  std::array<uint8_t, kAesKeySize> raw;
+  for (size_t i = 0; i < raw.size(); i += 8) {
+    uint64_t v = rng->Next();
+    for (size_t b = 0; b < 8 && i + b < raw.size(); ++b) {
+      raw[i + b] = static_cast<uint8_t>(v >> (8 * b));
+    }
+  }
+  return SymmetricKey(Span(raw.data(), raw.size()));
+}
+
+SymmetricKey SymmetricKey::Derive(const std::string& label) const {
+  Digest d = HmacSha256(bytes(), Span(label));
+  return SymmetricKey(Span(d.data(), kAesKeySize));
+}
+
+Aes128 SymmetricKey::EncryptionCipher() const {
+  auto res = Aes128::New(Derive("enc").bytes());
+  CSXA_CHECK(res.ok());
+  return std::move(res).value();
+}
+
+}  // namespace csxa::crypto

@@ -1,0 +1,51 @@
+#ifndef CSXA_CRYPTO_SHA256_H_
+#define CSXA_CRYPTO_SHA256_H_
+
+/// \file sha256.h
+/// \brief SHA-256 (FIPS 180-4), incremental and one-shot.
+///
+/// Used for integrity digests, Merkle tree nodes and key derivation.
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace csxa::crypto {
+
+/// SHA-256 digest size in bytes.
+inline constexpr size_t kSha256Size = 32;
+
+/// A 32-byte SHA-256 digest.
+using Digest = std::array<uint8_t, kSha256Size>;
+
+/// \brief Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  /// Resets to the initial state.
+  void Reset();
+  /// Absorbs more input.
+  void Update(Span data);
+  /// Finalizes and returns the digest. The hasher must be Reset() to reuse.
+  Digest Finish();
+
+  /// One-shot convenience.
+  static Digest Hash(Span data);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t h_[8];
+  uint8_t buf_[64];
+  size_t buf_len_;
+  uint64_t total_len_;
+};
+
+/// HMAC-SHA256 (RFC 2104) over `data` with `key` of any length.
+Digest HmacSha256(Span key, Span data);
+
+}  // namespace csxa::crypto
+
+#endif  // CSXA_CRYPTO_SHA256_H_

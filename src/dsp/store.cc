@@ -1,0 +1,78 @@
+#include "dsp/store.h"
+
+namespace csxa::dsp {
+
+Status DspServer::PublishDocument(const std::string& doc_id, Bytes container,
+                                  Bytes sealed_rules) {
+  Entry entry;
+  entry.container_bytes = std::make_unique<Bytes>(std::move(container));
+  CSXA_ASSIGN_OR_RETURN(
+      entry.container, crypto::SecureContainer::Parse(*entry.container_bytes));
+  entry.sealed_rules = std::move(sealed_rules);
+  entry.rules_version = 1;
+  auto [it, inserted] = docs_.insert_or_assign(doc_id, std::move(entry));
+  (void)it;
+  (void)inserted;
+  return Status::OK();
+}
+
+Status DspServer::UpdateRules(const std::string& doc_id, Bytes sealed_rules) {
+  auto it = docs_.find(doc_id);
+  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
+  it->second.sealed_rules = std::move(sealed_rules);
+  ++it->second.rules_version;
+  return Status::OK();
+}
+
+Status DspServer::Remove(const std::string& doc_id) {
+  if (docs_.erase(doc_id) == 0) return Status::NotFound("document " + doc_id);
+  return Status::OK();
+}
+
+Result<Bytes> DspServer::GetHeader(const std::string& doc_id) const {
+  auto it = docs_.find(doc_id);
+  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
+  const Bytes& raw = *it->second.container_bytes;
+  if (raw.size() < crypto::ContainerHeader::kWireSize) {
+    return Status::Internal("stored container shorter than a header");
+  }
+  Bytes header(raw.begin(),
+               raw.begin() + crypto::ContainerHeader::kWireSize);
+  bytes_served_ += header.size();
+  return header;
+}
+
+Result<soe::ChunkData> DspServer::GetChunk(const std::string& doc_id,
+                                           uint32_t index) const {
+  auto it = docs_.find(doc_id);
+  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
+  soe::ChunkData chunk;
+  CSXA_ASSIGN_OR_RETURN(Span cipher, it->second.container.ChunkCiphertext(index));
+  chunk.ciphertext = cipher.ToBytes();
+  CSXA_ASSIGN_OR_RETURN(chunk.auth, it->second.container.GetChunkAuth(index));
+  ++chunk_requests_;
+  bytes_served_ += chunk.WireBytes(it->second.container.header().integrity);
+  return chunk;
+}
+
+Result<Bytes> DspServer::GetSealedRules(const std::string& doc_id) const {
+  auto it = docs_.find(doc_id);
+  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
+  bytes_served_ += it->second.sealed_rules.size();
+  return it->second.sealed_rules;
+}
+
+Result<Bytes> DspServer::GetContainer(const std::string& doc_id) const {
+  auto it = docs_.find(doc_id);
+  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
+  bytes_served_ += it->second.container_bytes->size();
+  return *it->second.container_bytes;
+}
+
+Result<uint64_t> DspServer::GetRulesVersion(const std::string& doc_id) const {
+  auto it = docs_.find(doc_id);
+  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
+  return it->second.rules_version;
+}
+
+}  // namespace csxa::dsp

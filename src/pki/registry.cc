@@ -1,0 +1,37 @@
+#include "pki/registry.h"
+
+namespace csxa::pki {
+
+Status KeyRegistry::Grant(const std::string& doc_id, const std::string& user,
+                          const crypto::SymmetricKey& key) {
+  if (!HasUser(user)) return Status::NotFound("unknown user " + user);
+  grants_[{doc_id, user}] = key;
+  ++keys_distributed_;
+  return Status::OK();
+}
+
+Status KeyRegistry::Revoke(const std::string& doc_id, const std::string& user) {
+  if (grants_.erase({doc_id, user}) == 0) {
+    return Status::NotFound("no grant for " + user + " on " + doc_id);
+  }
+  return Status::OK();
+}
+
+Result<crypto::SymmetricKey> KeyRegistry::Fetch(const std::string& doc_id,
+                                                const std::string& user) const {
+  auto it = grants_.find({doc_id, user});
+  if (it == grants_.end()) {
+    return Status::NotFound("no grant for " + user + " on " + doc_id);
+  }
+  return it->second;
+}
+
+size_t KeyRegistry::GrantCount(const std::string& doc_id) const {
+  size_t n = 0;
+  for (const auto& [k, v] : grants_) {
+    if (k.first == doc_id) ++n;
+  }
+  return n;
+}
+
+}  // namespace csxa::pki

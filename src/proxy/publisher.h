@@ -1,0 +1,79 @@
+#ifndef CSXA_PROXY_PUBLISHER_H_
+#define CSXA_PROXY_PUBLISHER_H_
+
+/// \file publisher.h
+/// \brief Document-owner tooling: encode, index, seal and publish.
+///
+/// Runs on the owner's (trusted) terminal: it is the only place plaintext
+/// and keys coexist outside a card. Publishing a document generates a
+/// fresh document key, encodes the XML with the skip index, seals it into
+/// the chunked container, seals the rule set, pushes both to the DSP and
+/// deposits the key with the PKI registry for each grantee.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/rule.h"
+#include "crypto/container.h"
+#include "dsp/store.h"
+#include "pki/registry.h"
+#include "skipindex/codec.h"
+#include "xml/dom.h"
+
+namespace csxa::proxy {
+
+/// Publication options.
+struct PublishOptions {
+  size_t chunk_size = crypto::kDefaultChunkSize;
+  bool with_index = true;
+  bool recursive_bitmaps = true;
+};
+
+/// What publishing produced (sizes feed several benchmarks).
+struct PublishReceipt {
+  crypto::SymmetricKey key;
+  size_t plaintext_bytes = 0;   // encoded document before sealing
+  size_t container_bytes = 0;   // sealed container as stored
+  size_t sealed_rules_bytes = 0;
+  skipindex::EncodeStats encode_stats;
+};
+
+/// \brief Owner-side publishing facade.
+class Publisher {
+ public:
+  Publisher(dsp::DspServer* dsp, pki::KeyRegistry* registry, uint64_t seed)
+      : dsp_(dsp), registry_(registry), rng_(seed) {}
+
+  /// Publishes `doc` as `doc_id` with `rules_text` (RuleSet text format),
+  /// granting the key to every subject appearing in the rules.
+  Result<PublishReceipt> Publish(const std::string& doc_id,
+                                 const xml::DomDocument& doc,
+                                 const std::string& rules_text,
+                                 const PublishOptions& options = {});
+
+  /// Replaces the rules of a published document — the paper's headline
+  /// "dynamic" operation: no document re-encryption, no key redistribution
+  /// for existing grantees; new subjects receive the key.
+  /// Returns the sealed blob size (the entire update cost).
+  Result<size_t> UpdateRules(const std::string& doc_id,
+                             const crypto::SymmetricKey& key,
+                             const std::string& rules_text);
+
+ private:
+  Result<Bytes> SealRules(const crypto::SymmetricKey& key,
+                          const core::RuleSet& rules,
+                          const std::string& doc_id);
+
+  dsp::DspServer* dsp_;
+  pki::KeyRegistry* registry_;
+  Rng rng_;
+  /// Owner-side monotone rule-set versions (anti-rollback anchor).
+  std::map<std::string, uint64_t> rules_versions_;
+};
+
+}  // namespace csxa::proxy
+
+#endif  // CSXA_PROXY_PUBLISHER_H_

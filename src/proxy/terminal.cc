@@ -1,0 +1,109 @@
+#include "proxy/terminal.h"
+
+namespace csxa::proxy {
+
+using soe::ApduCommand;
+using soe::ApduResponse;
+using soe::Ins;
+
+Terminal::Terminal(std::string user, soe::CardProfile profile,
+                   dsp::DspServer* dsp, pki::KeyRegistry* registry)
+    : user_(std::move(user)), dsp_(dsp), registry_(registry), applet_(profile) {}
+
+Status Terminal::Provision(const std::string& doc_id) {
+  CSXA_ASSIGN_OR_RETURN(crypto::SymmetricKey key,
+                        registry_->Fetch(doc_id, user_));
+  applet_.InstallKey(doc_id, key);
+  return Status::OK();
+}
+
+namespace {
+// Maps an applet status word to a Status for the application layer.
+Status FromSw(uint16_t sw, const std::string& what) {
+  switch (sw) {
+    case soe::kSwSecurityStatus:
+      return Status::IntegrityError(what + ": card security status");
+    case soe::kSwNotFound:
+      return Status::NotFound(what + ": card reports not found");
+    case soe::kSwConditionsNotSatisfied:
+      return Status::InvalidArgument(what + ": conditions not satisfied");
+    case soe::kSwWrongData:
+      return Status::InvalidArgument(what + ": wrong data");
+    default:
+      return Status::Internal(what + ": card error " + std::to_string(sw));
+  }
+}
+}  // namespace
+
+Result<QueryResult> Terminal::Query(const std::string& doc_id,
+                                    const QueryOptions& options) {
+  // Fetch public metadata and the sealed rules from the DSP.
+  uint64_t dsp_before = dsp_->bytes_served();
+  CSXA_ASSIGN_OR_RETURN(Bytes header, dsp_->GetHeader(doc_id));
+  CSXA_ASSIGN_OR_RETURN(Bytes sealed_rules, dsp_->GetSealedRules(doc_id));
+
+  // The chunk provider the card pulls from during the session.
+  dsp::DspChunkProvider provider(dsp_, doc_id);
+  applet_.SetChunkProvider(&provider);
+
+  // Drive the card over APDUs. The transport charges a dedicated cost
+  // model for terminal-side accounting; the card's own session cost is
+  // reported in its stats.
+  soe::CostModel link_cost(applet_.engine().profile());
+  soe::ApduTransport transport(&link_cost);
+
+  ApduCommand select;
+  select.ins = Ins::kSelectDocument;
+  {
+    ByteWriter w;
+    w.PutString(doc_id);
+    w.PutLengthPrefixed(header);
+    select.data = w.Take();
+  }
+  ApduResponse resp = transport.Exchange(&applet_, select);
+  if (!resp.ok()) return FromSw(resp.sw, "select");
+
+  ApduCommand put_rules;
+  put_rules.ins = Ins::kPutRules;
+  put_rules.data = sealed_rules;
+  resp = transport.Exchange(&applet_, put_rules);
+  if (!resp.ok()) return FromSw(resp.sw, "put-rules");
+
+  ApduCommand run;
+  run.ins = Ins::kRunQuery;
+  {
+    ByteWriter w;
+    w.PutString(user_);
+    w.PutString(options.query);
+    uint8_t flags = 0;
+    if (options.use_skip) flags |= 1;
+    if (options.strict_ram) flags |= 2;
+    w.PutU8(flags);
+    run.data = w.Take();
+  }
+  resp = transport.Exchange(&applet_, run);
+  if (!resp.ok()) return FromSw(resp.sw, "run-query");
+
+  // Page the delivered view out of the card.
+  QueryResult result;
+  for (;;) {
+    ApduCommand fetch;
+    fetch.ins = Ins::kFetchOutput;
+    ApduResponse slice = transport.Exchange(&applet_, fetch);
+    if (!slice.ok()) return FromSw(slice.sw, "fetch-output");
+    result.xml.append(reinterpret_cast<const char*>(slice.data.data()),
+                      slice.data.size());
+    if (slice.sw == soe::kSwOk) break;
+  }
+
+  ApduCommand end;
+  end.ins = Ins::kEndSession;
+  result.card = applet_.last_stats();
+  transport.Exchange(&applet_, end);
+
+  result.dsp_bytes_fetched = dsp_->bytes_served() - dsp_before;
+  result.apdu_round_trips = transport.exchanges();
+  return result;
+}
+
+}  // namespace csxa::proxy

@@ -1,0 +1,76 @@
+#ifndef CSXA_PROXY_TERMINAL_H_
+#define CSXA_PROXY_TERMINAL_H_
+
+/// \file terminal.h
+/// \brief The user-side terminal proxy (Fig. 3).
+///
+/// "A proxy allowing the applications to communicate easily with the
+/// different elements of the architecture through an XML API independent
+/// of the underlying protocols (JDBC, APDU)" (§3). The proxy hosts the
+/// user's card (applet), provisions its keys from the PKI registry,
+/// drives sessions over the APDU transport, feeds container chunks
+/// fetched from the DSP, and reassembles the delivered view for the
+/// application.
+
+#include <memory>
+#include <string>
+
+#include "dsp/store.h"
+#include "pki/registry.h"
+#include "soe/applet.h"
+#include "soe/apdu.h"
+
+namespace csxa::proxy {
+
+/// Per-query options exposed to applications.
+struct QueryOptions {
+  /// XPath query; empty delivers the whole authorized view.
+  std::string query;
+  /// Exploit the skip index.
+  bool use_skip = true;
+  /// Enforce the modeled card RAM budget strictly.
+  bool strict_ram = false;
+};
+
+/// What the application receives.
+struct QueryResult {
+  /// The authorized (sub)document, canonical XML.
+  std::string xml;
+  /// Card-side session statistics (cost model, skips, RAM).
+  soe::SessionStats card;
+  /// Terminal-side accounting.
+  uint64_t dsp_bytes_fetched = 0;
+  uint64_t apdu_round_trips = 0;
+};
+
+/// \brief One user's terminal with its plugged-in card.
+class Terminal {
+ public:
+  /// `user` is the card holder; the card profile models the hardware.
+  Terminal(std::string user, soe::CardProfile profile, dsp::DspServer* dsp,
+           pki::KeyRegistry* registry);
+
+  /// Fetches the user's key grant for `doc_id` from the registry and
+  /// installs it in the card (secure channel assumed).
+  Status Provision(const std::string& doc_id);
+
+  /// Runs a query as this terminal's user. The XML API of the demo:
+  /// applications call this and get XML back, all protocol details hidden.
+  Result<QueryResult> Query(const std::string& doc_id,
+                            const QueryOptions& options);
+
+  /// The card holder.
+  const std::string& user() const { return user_; }
+  /// Direct applet access (integration tests).
+  soe::CsxaApplet& applet() { return applet_; }
+
+ private:
+  std::string user_;
+  dsp::DspServer* dsp_;
+  pki::KeyRegistry* registry_;
+  soe::CsxaApplet applet_;
+};
+
+}  // namespace csxa::proxy
+
+#endif  // CSXA_PROXY_TERMINAL_H_

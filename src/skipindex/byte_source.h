@@ -1,0 +1,65 @@
+#ifndef CSXA_SKIPINDEX_BYTE_SOURCE_H_
+#define CSXA_SKIPINDEX_BYTE_SOURCE_H_
+
+/// \file byte_source.h
+/// \brief Sequential byte input with cheap forward skips.
+///
+/// The document decoder pulls plaintext bytes through this interface. The
+/// SOE's implementation (soe/chunk_source.h) fetches, verifies and decrypts
+/// container chunks on demand — and a Skip() that jumps whole chunks avoids
+/// both the transfer and the decryption, which is exactly the benefit the
+/// skip index exists to harvest (§2.3).
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace csxa::skipindex {
+
+/// \brief Abstract sequential source.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Reads exactly `n` bytes into `buf`; IoError if the stream ends first.
+  virtual Status ReadExact(uint8_t* buf, size_t n) = 0;
+  /// Advances the cursor `n` bytes without necessarily materializing them.
+  virtual Status Skip(uint64_t n) = 0;
+  /// Absolute cursor position.
+  virtual uint64_t position() const = 0;
+  /// True when the cursor is at the end of the stream.
+  virtual bool AtEnd() const = 0;
+};
+
+/// \brief In-memory source (tests, terminal-side decoding).
+class MemorySource : public ByteSource {
+ public:
+  explicit MemorySource(Span data) : data_(data) {}
+
+  Status ReadExact(uint8_t* buf, size_t n) override {
+    if (data_.size() - pos_ < n) {
+      return Status::IoError("memory source exhausted");
+    }
+    std::memcpy(buf, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  Status Skip(uint64_t n) override {
+    if (data_.size() - pos_ < n) {
+      return Status::IoError("skip past end of memory source");
+    }
+    pos_ += n;
+    return Status::OK();
+  }
+  uint64_t position() const override { return pos_; }
+  bool AtEnd() const override { return pos_ == data_.size(); }
+
+ private:
+  Span data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace csxa::skipindex
+
+#endif  // CSXA_SKIPINDEX_BYTE_SOURCE_H_

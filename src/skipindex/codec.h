@@ -1,0 +1,140 @@
+#ifndef CSXA_SKIPINDEX_CODEC_H_
+#define CSXA_SKIPINDEX_CODEC_H_
+
+/// \file codec.h
+/// \brief The indexed binary document format (§2.3 "skip index").
+///
+/// Layout (all of it is encrypted inside the secure container):
+///
+///   header   := magic(0xD0) flags tag_dict attr_dict token*
+///   token    := OPEN | VALUE | CLOSE
+///   OPEN     := 0x01 tag_id:varint nattrs:varint attr* meta?
+///   attr     := name_id:varint len:varint bytes
+///   meta     := content_size:varint mflags:u8 bitmap?      (flags bit0)
+///   VALUE    := 0x02 len:varint bytes
+///   CLOSE    := 0x03
+///
+/// `content_size` is the byte length of all tokens strictly between this
+/// OPEN token and its matching CLOSE — skipping that many bytes lands the
+/// cursor exactly on the CLOSE token. `bitmap` encodes the set of tags of
+/// strict descendants. With recursive compression (flags bit1, the paper's
+/// scheme) the bitmap has one bit per tag *present in the parent's
+/// subtree* (root: per dictionary entry); without it, every bitmap spans
+/// the whole dictionary — the ablation baseline for EXP-IDXSZ. `mflags`
+/// bit0 says the subtree contains elements (no bitmap stored otherwise),
+/// bit1 that it contains text.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "skipindex/byte_source.h"
+#include "skipindex/tag_dictionary.h"
+#include "xml/dom.h"
+#include "xml/event.h"
+
+namespace csxa::skipindex {
+
+/// Encoder options.
+struct EncodeOptions {
+  /// Embed the skip index (content sizes + tag bitmaps).
+  bool with_index = true;
+  /// Use the paper's recursive bitmap compression (vs full-width bitmaps).
+  bool recursive_bitmaps = true;
+};
+
+/// Byte-level breakdown of an encoded document (drives EXP-IDXSZ).
+struct EncodeStats {
+  size_t total_bytes = 0;
+  size_t dict_bytes = 0;
+  size_t structure_bytes = 0;  // OPEN/CLOSE tokens, tag ids, attributes
+  size_t text_bytes = 0;       // VALUE tokens
+  size_t index_size_bytes = 0; // content_size varints + mflags
+  size_t index_bitmap_bytes = 0;
+  size_t element_count = 0;
+
+  /// Index overhead as a fraction of the document without index.
+  double IndexOverhead() const {
+    size_t base = total_bytes - index_size_bytes - index_bitmap_bytes;
+    if (base == 0) return 0.0;
+    return static_cast<double>(index_size_bytes + index_bitmap_bytes) /
+           static_cast<double>(base);
+  }
+};
+
+/// Encodes a DOM document into the binary format.
+Result<Bytes> EncodeDocument(const xml::DomDocument& doc,
+                             const EncodeOptions& options,
+                             EncodeStats* stats = nullptr);
+
+/// \brief Streaming decoder over a ByteSource.
+///
+/// Pull API mirroring the event model; after an OPEN the caller may call
+/// SkipContent() to jump to the matching CLOSE without touching the
+/// subtree's bytes (the skip decision itself is the evaluator's).
+class DocumentDecoder {
+ public:
+  /// Reads and validates the header and dictionaries.
+  static Result<std::unique_ptr<DocumentDecoder>> Open(ByteSource* source);
+
+  /// Pulls the next event. Returns kEnd exactly once at end of stream.
+  Result<xml::Event> Next();
+
+  /// True if the format embeds the skip index.
+  bool has_index() const { return with_index_; }
+
+  /// \name Metadata of the most recent OPEN event
+  /// @{
+  /// Content byte size (0 when no index).
+  uint64_t last_content_size() const { return last_content_size_; }
+  /// Whether the subtree contains elements / text.
+  bool last_has_elements() const { return last_has_elements_; }
+  bool last_has_text() const { return last_has_text_; }
+  /// Membership test over the subtree's tag set (false without index).
+  bool SubtreeHasTag(const std::string& tag) const;
+  /// @}
+
+  /// Skips the content of the element just opened; the next event will be
+  /// its CLOSE. Only legal immediately after an OPEN, with the index on.
+  Status SkipContent();
+
+  /// Tag dictionary (exposed for the SOE's RAM accounting).
+  const TagDictionary& tags() const { return tag_dict_; }
+  const TagDictionary& attrs() const { return attr_dict_; }
+
+  /// Modeled decoder RAM: dictionaries plus the ancestor tag-set stack.
+  size_t ModeledBytes() const;
+
+ private:
+  DocumentDecoder() = default;
+
+  Status ReadVarint(uint64_t* v);
+  Status ReadByte(uint8_t* b);
+  Result<std::string> ReadString();
+
+  ByteSource* source_ = nullptr;
+  TagDictionary tag_dict_;
+  TagDictionary attr_dict_;
+  bool with_index_ = false;
+  bool recursive_ = false;
+  bool done_ = false;
+  bool root_closed_ = false;
+  int depth_ = 0;
+  bool just_opened_ = false;
+  std::vector<uint32_t> open_tag_ids_;
+
+  uint64_t last_content_size_ = 0;
+  bool last_has_elements_ = false;
+  bool last_has_text_ = false;
+
+  // Stack of subtree tag sets (sorted tag-id lists); back() is the set of
+  // the innermost open element. Root base is the full dictionary.
+  std::vector<std::vector<uint32_t>> tagset_stack_;
+};
+
+}  // namespace csxa::skipindex
+
+#endif  // CSXA_SKIPINDEX_CODEC_H_

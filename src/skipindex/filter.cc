@@ -1,0 +1,40 @@
+#include "skipindex/filter.h"
+
+namespace csxa::skipindex {
+
+Status RunFiltered(DocumentDecoder* decoder,
+                   core::StreamingEvaluator* evaluator,
+                   const FilterOptions& options, FilterStats* stats) {
+  for (;;) {
+    CSXA_ASSIGN_OR_RETURN(xml::Event event, decoder->Next());
+    CSXA_RETURN_IF_ERROR(evaluator->OnEvent(event));
+    if (options.on_event) {
+      CSXA_RETURN_IF_ERROR(options.on_event());
+    }
+    if (event.type == xml::EventType::kEnd) break;
+    if (event.type == xml::EventType::kOpen && options.enable_skip &&
+        decoder->has_index() && decoder->last_content_size() > 0) {
+      bool nonempty = decoder->last_has_elements();
+      auto has_tag = [decoder](const std::string& tag) {
+        return decoder->SubtreeHasTag(tag);
+      };
+      if (evaluator->CanSkipCurrentSubtree(has_tag, nonempty,
+                                           decoder->last_has_text())) {
+        uint64_t n = decoder->last_content_size();
+        CSXA_RETURN_IF_ERROR(decoder->SkipContent());
+        evaluator->NoteSubtreeSkipped();
+        if (stats != nullptr) {
+          stats->bytes_skipped += n;
+          ++stats->skips;
+        }
+      }
+    }
+  }
+  if (stats != nullptr) {
+    // Position is the whole stream: reads plus skips.
+    stats->bytes_total = 0;  // filled by callers that know the source size
+  }
+  return Status::OK();
+}
+
+}  // namespace csxa::skipindex

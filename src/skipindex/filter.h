@@ -1,0 +1,47 @@
+#ifndef CSXA_SKIPINDEX_FILTER_H_
+#define CSXA_SKIPINDEX_FILTER_H_
+
+/// \file filter.h
+/// \brief Driver connecting the document decoder to the streaming
+/// evaluator, taking skip decisions along the way.
+///
+/// This is the plaintext core of what the card engine does (soe/ adds
+/// decryption, integrity and transport): pull an event, let the evaluator
+/// decide, and whenever a just-opened subtree is provably irrelevant, jump
+/// over its bytes instead of decoding them.
+
+#include <functional>
+
+#include "core/evaluator.h"
+#include "skipindex/codec.h"
+
+namespace csxa::skipindex {
+
+/// Filtering options.
+struct FilterOptions {
+  /// Take skips (requires an indexed document). Off = full scan baseline.
+  bool enable_skip = true;
+  /// Invoked after each event is processed (the SOE hooks RAM metering and
+  /// cost accounting here). A non-OK status aborts the run.
+  std::function<Status()> on_event;
+};
+
+/// Outcome counters.
+struct FilterStats {
+  /// Bytes consumed from the source, including skipped ranges.
+  uint64_t bytes_total = 0;
+  /// Bytes jumped over thanks to the index.
+  uint64_t bytes_skipped = 0;
+  /// Number of subtree skips taken.
+  size_t skips = 0;
+};
+
+/// Runs the full document through `evaluator` (which owns the output
+/// sink), skipping subtrees when allowed. Feeds the final kEnd.
+Status RunFiltered(DocumentDecoder* decoder,
+                   core::StreamingEvaluator* evaluator,
+                   const FilterOptions& options, FilterStats* stats);
+
+}  // namespace csxa::skipindex
+
+#endif  // CSXA_SKIPINDEX_FILTER_H_

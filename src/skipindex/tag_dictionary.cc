@@ -1,0 +1,52 @@
+#include "skipindex/tag_dictionary.h"
+
+#include "common/varint.h"
+
+namespace csxa::skipindex {
+
+uint32_t TagDictionary::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return id;
+}
+
+uint32_t TagDictionary::Lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNoId : it->second;
+}
+
+void TagDictionary::EncodeTo(ByteWriter* out) const {
+  PutVarint(out, names_.size());
+  for (const std::string& n : names_) {
+    PutVarint(out, n.size());
+    out->PutBytes(Span(n));
+  }
+}
+
+Result<TagDictionary> TagDictionary::DecodeFrom(ByteReader* in) {
+  uint64_t count;
+  if (!GetVarint(in, &count) || count > 1u << 20) {
+    return Status::ParseError("tag dictionary truncated or oversized");
+  }
+  TagDictionary dict;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t len;
+    Span bytes;
+    if (!GetVarint(in, &len) || !in->GetBytes(len, &bytes)) {
+      return Status::ParseError("tag dictionary name truncated");
+    }
+    dict.Intern(bytes.ToString());
+  }
+  return dict;
+}
+
+size_t TagDictionary::ModeledBytes() const {
+  size_t n = 0;
+  for (const std::string& s : names_) n += 2 + s.size();
+  return n;
+}
+
+}  // namespace csxa::skipindex

@@ -1,0 +1,63 @@
+#include "soe/apdu.h"
+
+namespace csxa::soe {
+
+void ApduCommand::EncodeTo(ByteWriter* out) const {
+  out->PutU8(cla);
+  out->PutU8(static_cast<uint8_t>(ins));
+  out->PutU8(p1);
+  out->PutU8(p2);
+  out->PutU32(static_cast<uint32_t>(data.size()));  // extended length field
+  out->PutBytes(data);
+}
+
+Result<ApduCommand> ApduCommand::DecodeFrom(ByteReader* in) {
+  ApduCommand cmd;
+  uint8_t ins_raw;
+  uint32_t len;
+  if (!in->GetU8(&cmd.cla) || !in->GetU8(&ins_raw) || !in->GetU8(&cmd.p1) ||
+      !in->GetU8(&cmd.p2) || !in->GetU32(&len)) {
+    return Status::ParseError("APDU command truncated");
+  }
+  Span data;
+  if (!in->GetBytes(len, &data)) {
+    return Status::ParseError("APDU command body truncated");
+  }
+  cmd.ins = static_cast<Ins>(ins_raw);
+  cmd.data = data.ToBytes();
+  return cmd;
+}
+
+void ApduResponse::EncodeTo(ByteWriter* out) const {
+  out->PutU32(static_cast<uint32_t>(data.size()));
+  out->PutBytes(data);
+  out->PutU16(sw);
+}
+
+Result<ApduResponse> ApduResponse::DecodeFrom(ByteReader* in) {
+  ApduResponse resp;
+  uint32_t len;
+  if (!in->GetU32(&len)) return Status::ParseError("APDU response truncated");
+  Span data;
+  if (!in->GetBytes(len, &data) || !in->GetU16(&resp.sw)) {
+    return Status::ParseError("APDU response body truncated");
+  }
+  resp.data = data.ToBytes();
+  return resp;
+}
+
+ApduResponse ApduTransport::Exchange(ApduHandler* card,
+                                     const ApduCommand& command) {
+  ++exchanges_;
+  // Wire-size accounting: header (4) + length (4) + payload, then the
+  // response payload + status word. Chaining overhead is handled inside
+  // CostModel::AddTransfer.
+  ByteWriter wire;
+  command.EncodeTo(&wire);
+  if (cost_ != nullptr) cost_->AddTransfer(wire.size());
+  ApduResponse resp = card->Process(command);
+  if (cost_ != nullptr) cost_->AddTransfer(resp.data.size() + 2);
+  return resp;
+}
+
+}  // namespace csxa::soe

@@ -1,0 +1,69 @@
+#include "soe/chunk_source.h"
+
+namespace csxa::soe {
+
+ChunkSource::ChunkSource(const crypto::SymmetricKey& key,
+                         const crypto::ContainerHeader& header,
+                         ChunkProvider* provider, CostModel* cost,
+                         bool charge_transfer)
+    : key_(key),
+      header_(header),
+      provider_(provider),
+      cost_(cost),
+      charge_transfer_(charge_transfer) {}
+
+Status ChunkSource::EnsureChunk(uint32_t index) {
+  if (buf_valid_ && buf_index_ == index) return Status::OK();
+  CSXA_ASSIGN_OR_RETURN(ChunkData chunk, provider_->GetChunk(index));
+  if (cost_ != nullptr) {
+    if (charge_transfer_) {
+      cost_->AddTransfer(chunk.WireBytes(header_.integrity));
+    }
+    // MAC mode hashes the ciphertext once; Merkle mode additionally pays
+    // one 64-byte compression per proof node.
+    cost_->AddHash(chunk.ciphertext.size() + 4 + chunk.auth.proof.size() * 64);
+    cost_->AddDecrypt(chunk.ciphertext.size());
+  }
+  CSXA_ASSIGN_OR_RETURN(
+      Bytes plain, crypto::SecureContainer::VerifyAndDecryptChunk(
+                       key_, header_, index, chunk.ciphertext, chunk.auth));
+  buf_ = std::move(plain);
+  buf_index_ = index;
+  buf_valid_ = true;
+  ++chunks_fetched_;
+  return Status::OK();
+}
+
+Status ChunkSource::ReadExact(uint8_t* buf, size_t n) {
+  while (n > 0) {
+    if (pos_ >= header_.payload_size) {
+      return Status::IoError("read past end of container payload");
+    }
+    uint32_t chunk = static_cast<uint32_t>(pos_ / header_.chunk_size);
+    CSXA_RETURN_IF_ERROR(EnsureChunk(chunk));
+    size_t off = static_cast<size_t>(pos_ % header_.chunk_size);
+    size_t avail = buf_.size() - off;
+    size_t take = avail < n ? avail : n;
+    std::memcpy(buf, buf_.data() + off, take);
+    buf += take;
+    n -= take;
+    pos_ += take;
+  }
+  return Status::OK();
+}
+
+Status ChunkSource::Skip(uint64_t n) {
+  if (header_.payload_size - pos_ < n) {
+    return Status::IoError("skip past end of container payload");
+  }
+  pos_ += n;
+  return Status::OK();
+}
+
+uint64_t ChunkSource::chunks_avoided() const {
+  return header_.chunk_count > chunks_fetched_
+             ? header_.chunk_count - chunks_fetched_
+             : 0;
+}
+
+}  // namespace csxa::soe

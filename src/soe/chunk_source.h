@@ -1,0 +1,86 @@
+#ifndef CSXA_SOE_CHUNK_SOURCE_H_
+#define CSXA_SOE_CHUNK_SOURCE_H_
+
+/// \file chunk_source.h
+/// \brief On-demand verify-and-decrypt byte source over a secure container.
+///
+/// The card holds one chunk of plaintext at a time (RAM!). Reads fetch the
+/// containing chunk from the provider (the terminal/DSP side), verify its
+/// Merkle path against the root-MAC-checked header, decrypt, and serve.
+/// Skips merely advance the cursor: chunks that are entirely jumped over
+/// are neither transferred nor decrypted — the skip index's payoff.
+
+#include <memory>
+#include <vector>
+
+#include "crypto/container.h"
+#include "skipindex/byte_source.h"
+#include "soe/cost_model.h"
+
+namespace csxa::soe {
+
+/// \brief One chunk as shipped to the card: ciphertext plus its
+/// authentication material (keyed MAC or Merkle path per container mode).
+struct ChunkData {
+  Bytes ciphertext;
+  crypto::ChunkAuth auth;
+
+  /// Wire size as transferred to the card.
+  size_t WireBytes(crypto::IntegrityMode mode) const {
+    return ciphertext.size() + auth.WireBytes(mode);
+  }
+};
+
+/// \brief Supplies chunks by index (implemented by the proxy/DSP side).
+class ChunkProvider {
+ public:
+  virtual ~ChunkProvider() = default;
+  virtual Result<ChunkData> GetChunk(uint32_t index) = 0;
+  /// Total wire size of the full stream; used by push mode, where the
+  /// broadcast reaches the card whether it decrypts it or not. 0 means
+  /// unknown (pull-mode providers need not implement it).
+  virtual uint64_t TotalWireBytes() const { return 0; }
+};
+
+/// \brief ByteSource over the container payload with lazy chunk fetching.
+class ChunkSource : public skipindex::ByteSource {
+ public:
+  /// `header` must already be root-verified under `key` by the caller.
+  /// With `charge_transfer` false (push mode) fetches charge only crypto:
+  /// the broadcast bytes were already paid for by the caller.
+  ChunkSource(const crypto::SymmetricKey& key,
+              const crypto::ContainerHeader& header, ChunkProvider* provider,
+              CostModel* cost, bool charge_transfer = true);
+
+  Status ReadExact(uint8_t* buf, size_t n) override;
+  Status Skip(uint64_t n) override;
+  uint64_t position() const override { return pos_; }
+  bool AtEnd() const override { return pos_ >= header_.payload_size; }
+
+  /// Chunks actually fetched (transferred + decrypted).
+  uint64_t chunks_fetched() const { return chunks_fetched_; }
+  /// Chunks never touched thanks to skips.
+  uint64_t chunks_avoided() const;
+
+  /// Modeled RAM held by the source (current chunk buffer).
+  size_t ModeledBytes() const { return buf_.size(); }
+
+ private:
+  Status EnsureChunk(uint32_t index);
+
+  crypto::SymmetricKey key_;
+  crypto::ContainerHeader header_;
+  ChunkProvider* provider_;
+  CostModel* cost_;
+  bool charge_transfer_;
+
+  uint64_t pos_ = 0;
+  uint32_t buf_index_ = 0;
+  bool buf_valid_ = false;
+  Bytes buf_;  // plaintext of chunk buf_index_
+  uint64_t chunks_fetched_ = 0;
+};
+
+}  // namespace csxa::soe
+
+#endif  // CSXA_SOE_CHUNK_SOURCE_H_

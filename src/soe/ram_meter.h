@@ -1,0 +1,51 @@
+#ifndef CSXA_SOE_RAM_METER_H_
+#define CSXA_SOE_RAM_METER_H_
+
+/// \file ram_meter.h
+/// \brief Tracks the modeled on-card working memory against the budget.
+///
+/// SOE assumption 3 (§2.1): "a small quantity of secure working memory (to
+/// protect sensitive data structures at processing time)" — 1 KB on the
+/// demo's e-gate. The engine reports its modeled footprint after every
+/// event; in strict mode exceeding the budget aborts the session (what a
+/// real applet would face), otherwise it is recorded for EXP-RAM.
+
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace csxa::soe {
+
+/// \brief Budgeted high-watermark meter.
+class RamMeter {
+ public:
+  /// `budget` of 0 means unlimited. In strict mode Update fails when the
+  /// budget is exceeded.
+  RamMeter(size_t budget, bool strict) : budget_(budget), strict_(strict) {}
+
+  /// Reports the current absolute modeled usage.
+  Status Update(size_t current_bytes) {
+    current_ = current_bytes;
+    if (current_ > peak_) peak_ = current_;
+    if (strict_ && budget_ != 0 && current_ > budget_) {
+      return Status::ResourceExhausted(
+          "modeled card RAM exceeded: " + std::to_string(current_) + " > " +
+          std::to_string(budget_) + " bytes");
+    }
+    return Status::OK();
+  }
+
+  size_t current() const { return current_; }
+  size_t peak() const { return peak_; }
+  size_t budget() const { return budget_; }
+
+ private:
+  size_t budget_;
+  bool strict_;
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+}  // namespace csxa::soe
+
+#endif  // CSXA_SOE_RAM_METER_H_

@@ -1,0 +1,112 @@
+#include "workload/rulegen.h"
+
+#include "common/logging.h"
+
+namespace csxa::workload {
+
+namespace {
+
+void CollectTagsRec(const xml::DomNode* n, std::vector<std::string>* out) {
+  if (!n->is_element()) return;
+  bool seen = false;
+  for (const std::string& t : *out) {
+    if (t == n->tag()) {
+      seen = true;
+      break;
+    }
+  }
+  if (!seen) out->push_back(n->tag());
+  for (const auto& c : n->children()) CollectTagsRec(c.get(), out);
+}
+
+void CollectValuesRec(const xml::DomNode* n, size_t limit,
+                      std::vector<std::string>* out) {
+  if (out->size() >= limit) return;
+  if (n->is_text()) {
+    if (!n->text().empty() && n->text().size() <= 32) out->push_back(n->text());
+    return;
+  }
+  for (const auto& c : n->children()) CollectValuesRec(c.get(), limit, out);
+}
+
+std::string SampleTag(const std::vector<std::string>& tags, double junk_prob,
+                      Rng* rng) {
+  if (tags.empty() || rng->Chance(junk_prob)) {
+    return "zz" + rng->Ident(3);
+  }
+  return rng->Pick(tags);
+}
+
+}  // namespace
+
+std::vector<std::string> CollectTags(const xml::DomDocument& doc) {
+  std::vector<std::string> out;
+  if (doc.root()) CollectTagsRec(doc.root(), &out);
+  return out;
+}
+
+std::vector<std::string> CollectValues(const xml::DomDocument& doc,
+                                       size_t limit) {
+  std::vector<std::string> out;
+  if (doc.root()) CollectValuesRec(doc.root(), limit, &out);
+  if (out.empty()) out.push_back("x");
+  return out;
+}
+
+std::string GeneratePathText(const std::vector<std::string>& tags,
+                             const std::vector<std::string>& values,
+                             const PathGenParams& params, Rng* rng) {
+  size_t steps = 1 + rng->Uniform(params.max_steps);
+  std::string out;
+  for (size_t i = 0; i < steps; ++i) {
+    out += rng->Chance(params.descendant_prob) ? "//" : "/";
+    if (rng->Chance(params.wildcard_prob)) {
+      out += "*";
+    } else {
+      out += SampleTag(tags, params.junk_tag_prob, rng);
+    }
+    if (rng->Chance(params.predicate_prob)) {
+      out.push_back('[');
+      size_t psteps = 1 + rng->Uniform(params.max_pred_steps);
+      for (size_t k = 0; k < psteps; ++k) {
+        if (k == 0) {
+          if (rng->Chance(params.descendant_prob)) out += ".//";
+        } else {
+          out += rng->Chance(params.descendant_prob) ? "//" : "/";
+        }
+        out += SampleTag(tags, params.junk_tag_prob, rng);
+      }
+      if (rng->Chance(params.value_pred_prob) && !values.empty()) {
+        static const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
+        out += kOps[rng->Uniform(6)];
+        out.push_back('"');
+        // Escape embedded quotes out of caution (sampled values are short).
+        std::string v = rng->Pick(values);
+        for (char c : v) {
+          if (c != '"') out.push_back(c);
+        }
+        out.push_back('"');
+      }
+      out.push_back(']');
+    }
+  }
+  return out;
+}
+
+core::RuleSet GenerateRules(const xml::DomDocument& doc,
+                            const std::string& subject,
+                            const RuleGenParams& params, Rng* rng) {
+  std::vector<std::string> tags = CollectTags(doc);
+  std::vector<std::string> values = CollectValues(doc);
+  core::RuleSet set;
+  for (size_t i = 0; i < params.num_rules; ++i) {
+    core::Sign sign = rng->Chance(params.negative_ratio) ? core::Sign::kDeny
+                                                         : core::Sign::kPermit;
+    std::string path = GeneratePathText(tags, values, params.path, rng);
+    Status st = set.Add(sign, subject, path);
+    CSXA_CHECK(st.ok());  // generator output must always parse
+  }
+  return set;
+}
+
+}  // namespace csxa::workload

@@ -1,0 +1,68 @@
+#ifndef CSXA_WORKLOAD_RULEGEN_H_
+#define CSXA_WORKLOAD_RULEGEN_H_
+
+/// \file rulegen.h
+/// \brief Randomized access-rule and query generation.
+///
+/// Property tests and benchmarks need rule sets that actually interact
+/// with the generated documents: paths are built by sampling tags from the
+/// document's own vocabulary (and occasionally junk tags, to exercise
+/// non-matching automata).
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/rule.h"
+#include "xml/dom.h"
+#include "xpath/ast.h"
+
+namespace csxa::workload {
+
+/// Tag vocabulary of a document in first-seen order.
+std::vector<std::string> CollectTags(const xml::DomDocument& doc);
+
+/// Sample text values appearing in the document (for value predicates).
+std::vector<std::string> CollectValues(const xml::DomDocument& doc,
+                                       size_t limit = 64);
+
+/// Parameters for random path generation.
+struct PathGenParams {
+  /// Maximum navigational steps.
+  size_t max_steps = 4;
+  /// Probability that a step uses the descendant axis.
+  double descendant_prob = 0.45;
+  /// Probability that a step is a wildcard.
+  double wildcard_prob = 0.1;
+  /// Probability that a step carries a predicate.
+  double predicate_prob = 0.25;
+  /// Probability that a predicate compares a value (vs pure existence).
+  double value_pred_prob = 0.4;
+  /// Probability of sampling a tag absent from the document.
+  double junk_tag_prob = 0.05;
+  /// Maximum steps inside a predicate path.
+  size_t max_pred_steps = 2;
+};
+
+/// Generates a random XPath in the supported fragment over `tags`/`values`.
+/// Returned string always parses via xpath::ParsePath.
+std::string GeneratePathText(const std::vector<std::string>& tags,
+                             const std::vector<std::string>& values,
+                             const PathGenParams& params, Rng* rng);
+
+/// Parameters for random rule-set generation.
+struct RuleGenParams {
+  size_t num_rules = 6;
+  /// Fraction of prohibitions.
+  double negative_ratio = 0.35;
+  PathGenParams path;
+};
+
+/// Generates a rule set for `subject` over a document's vocabulary.
+core::RuleSet GenerateRules(const xml::DomDocument& doc,
+                            const std::string& subject,
+                            const RuleGenParams& params, Rng* rng);
+
+}  // namespace csxa::workload
+
+#endif  // CSXA_WORKLOAD_RULEGEN_H_

@@ -1,0 +1,91 @@
+#include "workload/scenarios.h"
+
+namespace csxa::workload {
+
+Scenario AgendaScenario() {
+  Scenario s;
+  s.profile = xml::DocProfile::kAgenda;
+  s.description =
+      "Community of users sharing an agenda via an untrusted DSP (demo "
+      "application 1). The secretary sees everything except private notes; "
+      "a guest only sees confirmed meetings' titles and dates; the auditor "
+      "sees meeting metadata but no personal contact details.";
+  s.rules_text =
+      "# secretary: full agenda except private notes\n"
+      "+ secretary /agenda\n"
+      "- secretary //note[visibility=\"private\"]\n"
+      "# guest: only meetings, not profiles or contacts\n"
+      "+ guest //meeting\n"
+      "- guest //notes\n"
+      "- guest //participants\n"
+      "# auditor: meetings and member profiles, no contact books\n"
+      "+ auditor //meetings\n"
+      "+ auditor //profile/name\n"
+      "- auditor //note\n";
+  s.queries = {
+      {"all-meetings", "//meeting"},
+      {"titles", "//meeting/title"},
+      {"confirmed-rooms", "//meeting/room"},
+  };
+  return s;
+}
+
+Scenario HospitalScenario() {
+  Scenario s;
+  s.profile = xml::DocProfile::kHospital;
+  s.description =
+      "Medical folder exchange (§1): predefined sharing policies with "
+      "exceptions. The treating doctor sees medical data but not billing; "
+      "the accountant sees admin data only; the researcher sees anonymized "
+      "medical records (no names/ssn); emergency staff see acute cases.";
+  s.rules_text =
+      "# doctor: whole patient folder except billing\n"
+      "+ doctor //patient\n"
+      "- doctor //admin/billing\n"
+      "# accountant: administrative subtree only\n"
+      "+ accountant //patient/admin\n"
+      "# researcher: medical data, never identity\n"
+      "+ researcher //patient/medical\n"
+      "- researcher //patient/name\n"
+      "- researcher //patient/ssn\n"
+      "# emergency: folders of patients with an acute diagnosis\n"
+      "+ emergency //patient[medical/diagnosis/severity=\"acute\"]\n"
+      "- emergency //admin\n";
+  s.queries = {
+      {"treatments", "//treatment"},
+      {"acute-patients", "//patient[medical/diagnosis/severity=\"acute\"]"},
+      {"billing", "//billing/amount"},
+  };
+  return s;
+}
+
+Scenario NewsFeedScenario() {
+  Scenario s;
+  s.profile = xml::DocProfile::kNewsFeed;
+  s.description =
+      "Selective dissemination of a rated content feed (demo application "
+      "2) and parental control (§1). The child profile receives only "
+      "G-rated items; the teen profile excludes R-rated items; premium "
+      "sees everything including media.";
+  s.rules_text =
+      "# child: G-rated items of any channel\n"
+      "+ child //item[rating=\"G\"]\n"
+      "# teen: all items except R-rated, no raw media streams\n"
+      "+ teen //item\n"
+      "- teen //item[rating=\"R\"]\n"
+      "- teen //media\n"
+      "# premium: the whole feed\n"
+      "+ premium /feed\n";
+  s.queries = {
+      {"news-items", "//channel[genre=\"news\"]//item"},
+      {"titles", "//item/title"},
+      {"media", "//item/media"},
+  };
+  return s;
+}
+
+std::vector<Scenario> AllScenarios() {
+  return {AgendaScenario(), HospitalScenario(), NewsFeedScenario()};
+}
+
+}  // namespace csxa::workload

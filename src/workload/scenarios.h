@@ -1,0 +1,38 @@
+#ifndef CSXA_WORKLOAD_SCENARIOS_H_
+#define CSXA_WORKLOAD_SCENARIOS_H_
+
+/// \file scenarios.h
+/// \brief Canonical demo scenarios: realistic rule sets and queries for the
+/// three generated dataset profiles. Shared by examples, tests and benches
+/// so the demonstration storyline of §3 is reproducible everywhere.
+
+#include <string>
+#include <vector>
+
+#include "core/rule.h"
+#include "xml/generator.h"
+
+namespace csxa::workload {
+
+/// \brief A named (subject, rules, sample queries) bundle over a profile.
+struct Scenario {
+  xml::DocProfile profile;
+  std::string description;
+  /// Rule text (core::RuleSet::ParseText format), covering 2+ subjects.
+  std::string rules_text;
+  /// Sample queries with a short label.
+  std::vector<std::pair<std::string, std::string>> queries;
+};
+
+/// The collaborative-agenda scenario (demo application 1: pull, textual).
+Scenario AgendaScenario();
+/// The hospital / medical-exchange scenario (§1 motivating example).
+Scenario HospitalScenario();
+/// The rated-feed scenario (demo application 2: push; parental control).
+Scenario NewsFeedScenario();
+/// All three.
+std::vector<Scenario> AllScenarios();
+
+}  // namespace csxa::workload
+
+#endif  // CSXA_WORKLOAD_SCENARIOS_H_

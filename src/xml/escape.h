@@ -1,0 +1,22 @@
+#ifndef CSXA_XML_ESCAPE_H_
+#define CSXA_XML_ESCAPE_H_
+
+/// \file escape.h
+/// \brief XML entity escaping and unescaping.
+
+#include <string>
+
+#include "common/status.h"
+
+namespace csxa::xml {
+
+/// Escapes &, <, >, ", ' for safe inclusion in text or attribute values.
+std::string Escape(const std::string& raw);
+
+/// Resolves the five predefined entities plus decimal/hex character
+/// references. Unknown entities are a ParseError.
+Result<std::string> Unescape(const std::string& escaped);
+
+}  // namespace csxa::xml
+
+#endif  // CSXA_XML_ESCAPE_H_

@@ -1,0 +1,85 @@
+#ifndef CSXA_XML_EVENT_H_
+#define CSXA_XML_EVENT_H_
+
+/// \file event.h
+/// \brief SAX-style event model shared by the parser, the access-control
+/// evaluator and the output writers.
+///
+/// The paper's evaluator "is fed by an event-based parser (e.g., SAX)
+/// raising open, value and close events" (§2.3). Attributes ride along with
+/// the open event; the XPath fragment XP{[],*,//} does not address them, so
+/// they inherit their element's authorization.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace csxa::xml {
+
+/// One attribute of a start-element event.
+struct Attribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const Attribute&) const = default;
+};
+
+/// Event kinds raised by the parser.
+enum class EventType : uint8_t {
+  /// Opening tag; `name` and `attrs` are set.
+  kOpen = 0,
+  /// Text content; `text` is set.
+  kValue = 1,
+  /// Closing tag; `name` is set.
+  kClose = 2,
+  /// End of document.
+  kEnd = 3,
+};
+
+/// \brief A single parsing event (open / value / close / end).
+struct Event {
+  EventType type = EventType::kEnd;
+  std::string name;               ///< Tag name for kOpen / kClose.
+  std::string text;               ///< Character data for kValue.
+  std::vector<Attribute> attrs;   ///< Attributes for kOpen.
+
+  static Event Open(std::string tag, std::vector<Attribute> attrs = {}) {
+    Event e;
+    e.type = EventType::kOpen;
+    e.name = std::move(tag);
+    e.attrs = std::move(attrs);
+    return e;
+  }
+  static Event Value(std::string text) {
+    Event e;
+    e.type = EventType::kValue;
+    e.text = std::move(text);
+    return e;
+  }
+  static Event Close(std::string tag) {
+    Event e;
+    e.type = EventType::kClose;
+    e.name = std::move(tag);
+    return e;
+  }
+  static Event End() { return Event{}; }
+
+  bool operator==(const Event&) const = default;
+};
+
+/// \brief Consumer interface for event streams.
+///
+/// Implementations include the access-control evaluator, the canonical
+/// writer and the document encoder.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// Receives the next event. Returning a non-OK status aborts the stream.
+  virtual Status OnEvent(const Event& event) = 0;
+};
+
+}  // namespace csxa::xml
+
+#endif  // CSXA_XML_EVENT_H_

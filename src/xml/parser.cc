@@ -1,0 +1,253 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "xml/escape.h"
+
+namespace csxa::xml {
+
+namespace {
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+bool IsAllWhitespace(const std::string& s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+}  // namespace
+
+PullParser::PullParser(std::string input, ParserOptions options)
+    : input_(std::move(input)), options_(options) {}
+
+bool PullParser::Lookahead(const char* s) const {
+  size_t n = std::strlen(s);
+  if (pos_ + n > input_.size()) return false;
+  return std::memcmp(input_.data() + pos_, s, n) == 0;
+}
+
+void PullParser::Advance() {
+  if (input_[pos_] == '\n') ++line_;
+  ++pos_;
+}
+
+Status PullParser::Error(const std::string& msg) const {
+  return Status::ParseError("line " + std::to_string(line_) + ": " + msg);
+}
+
+Status PullParser::SkipComment() {
+  // Cursor is just past "<!--".
+  while (!AtEnd()) {
+    if (Lookahead("-->")) {
+      pos_ += 3;
+      return Status::OK();
+    }
+    Advance();
+  }
+  return Error("unterminated comment");
+}
+
+Status PullParser::SkipProcessingInstruction() {
+  // Cursor is just past "<?".
+  while (!AtEnd()) {
+    if (Lookahead("?>")) {
+      pos_ += 2;
+      return Status::OK();
+    }
+    Advance();
+  }
+  return Error("unterminated processing instruction");
+}
+
+Status PullParser::SkipMisc() {
+  for (;;) {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+    if (Lookahead("<!--")) {
+      pos_ += 4;
+      CSXA_RETURN_IF_ERROR(SkipComment());
+      continue;
+    }
+    if (Lookahead("<?")) {
+      pos_ += 2;
+      CSXA_RETURN_IF_ERROR(SkipProcessingInstruction());
+      continue;
+    }
+    if (Lookahead("<!DOCTYPE")) {
+      return Status::NotSupported("DTDs are not supported");
+    }
+    return Status::OK();
+  }
+}
+
+Result<std::string> PullParser::ParseName() {
+  if (AtEnd() || !IsNameStart(Peek())) {
+    return Error("expected name");
+  }
+  size_t start = pos_;
+  while (!AtEnd() && IsNameChar(Peek())) Advance();
+  return input_.substr(start, pos_ - start);
+}
+
+Result<std::string> PullParser::ParseAttrValue() {
+  if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+    return Error("expected quoted attribute value");
+  }
+  char quote = Peek();
+  Advance();
+  size_t start = pos_;
+  while (!AtEnd() && Peek() != quote) {
+    if (Peek() == '<') return Error("'<' in attribute value");
+    Advance();
+  }
+  if (AtEnd()) return Error("unterminated attribute value");
+  std::string raw = input_.substr(start, pos_ - start);
+  Advance();  // closing quote
+  return Unescape(raw);
+}
+
+Result<Event> PullParser::ParseOpenTag() {
+  // Cursor is just past '<'.
+  CSXA_ASSIGN_OR_RETURN(std::string name, ParseName());
+  std::vector<Attribute> attrs;
+  for (;;) {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+    if (AtEnd()) return Error("unterminated start tag");
+    if (Peek() == '>') {
+      Advance();
+      open_tags_.push_back(name);
+      ++depth_;
+      return Event::Open(std::move(name), std::move(attrs));
+    }
+    if (Lookahead("/>")) {
+      pos_ += 2;
+      pending_close_ = true;
+      pending_close_name_ = name;
+      return Event::Open(std::move(name), std::move(attrs));
+    }
+    CSXA_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+    if (AtEnd() || Peek() != '=') return Error("expected '=' after attribute name");
+    Advance();
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+    CSXA_ASSIGN_OR_RETURN(std::string value, ParseAttrValue());
+    attrs.push_back(Attribute{std::move(attr_name), std::move(value)});
+  }
+}
+
+Result<Event> PullParser::ParseCloseTag() {
+  // Cursor is just past "</".
+  CSXA_ASSIGN_OR_RETURN(std::string name, ParseName());
+  while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+  if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
+  Advance();
+  if (open_tags_.empty() || open_tags_.back() != name) {
+    return Error("mismatched end tag </" + name + ">");
+  }
+  open_tags_.pop_back();
+  --depth_;
+  if (depth_ == 0) done_ = true;
+  return Event::Close(std::move(name));
+}
+
+Result<Event> PullParser::Next() {
+  if (pending_close_) {
+    pending_close_ = false;
+    if (depth_ == 0) done_ = true;
+    return Event::Close(pending_close_name_);
+  }
+  for (;;) {
+    if (done_) {
+      // Only trailing misc is allowed after the root element.
+      CSXA_RETURN_IF_ERROR(SkipMisc());
+      if (!AtEnd()) return Error("content after document root");
+      return Event::End();
+    }
+    if (depth_ == 0) {
+      CSXA_RETURN_IF_ERROR(SkipMisc());
+      if (AtEnd()) {
+        if (!root_seen_) return Error("no root element");
+        return Event::End();
+      }
+      if (Peek() != '<') return Error("text outside root element");
+      Advance();
+      if (Peek() == '/') return Error("unexpected end tag");
+      if (root_seen_) return Error("multiple root elements");
+      root_seen_ = true;
+      return ParseOpenTag();
+    }
+    // Inside the root: gather text until markup.
+    std::string text;
+    for (;;) {
+      if (AtEnd()) return Error("unexpected end of input inside element");
+      if (Peek() == '<') {
+        if (Lookahead("<!--")) {
+          pos_ += 4;
+          CSXA_RETURN_IF_ERROR(SkipComment());
+          if (options_.coalesce_text) continue;
+        } else if (Lookahead("<![CDATA[")) {
+          pos_ += 9;
+          size_t start = pos_;
+          while (!AtEnd() && !Lookahead("]]>")) Advance();
+          if (AtEnd()) return Error("unterminated CDATA section");
+          text += input_.substr(start, pos_ - start);
+          pos_ += 3;
+          continue;
+        } else if (Lookahead("<?")) {
+          pos_ += 2;
+          CSXA_RETURN_IF_ERROR(SkipProcessingInstruction());
+          continue;
+        } else {
+          break;  // element markup
+        }
+      } else {
+        size_t start = pos_;
+        while (!AtEnd() && Peek() != '<') Advance();
+        CSXA_ASSIGN_OR_RETURN(std::string chunk,
+                              Unescape(input_.substr(start, pos_ - start)));
+        text += chunk;
+        if (!options_.coalesce_text) break;
+      }
+    }
+    if (!text.empty() && !(options_.skip_whitespace_text && IsAllWhitespace(text))) {
+      return Event::Value(std::move(text));
+    }
+    // No deliverable text: handle the markup that stopped the scan.
+    if (Peek() == '<') {
+      Advance();
+      if (!AtEnd() && Peek() == '/') {
+        Advance();
+        return ParseCloseTag();
+      }
+      return ParseOpenTag();
+    }
+  }
+}
+
+Status PullParser::ParseAll(const std::string& input, EventSink* sink,
+                            ParserOptions options) {
+  PullParser parser(input, options);
+  for (;;) {
+    CSXA_ASSIGN_OR_RETURN(Event e, parser.Next());
+    CSXA_RETURN_IF_ERROR(sink->OnEvent(e));
+    if (e.type == EventType::kEnd) return Status::OK();
+  }
+}
+
+Result<std::vector<Event>> PullParser::ParseToEvents(const std::string& input,
+                                                     ParserOptions options) {
+  PullParser parser(input, options);
+  std::vector<Event> events;
+  for (;;) {
+    CSXA_ASSIGN_OR_RETURN(Event e, parser.Next());
+    if (e.type == EventType::kEnd) return events;
+    events.push_back(std::move(e));
+  }
+}
+
+}  // namespace csxa::xml

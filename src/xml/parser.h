@@ -1,0 +1,86 @@
+#ifndef CSXA_XML_PARSER_H_
+#define CSXA_XML_PARSER_H_
+
+/// \file parser.h
+/// \brief Pull-style XML parser producing open/value/close events.
+///
+/// This is the terminal/publisher-side parser used to encode documents and
+/// to load reference DOMs. The SOE itself never parses textual XML — it
+/// consumes the compressed encoded stream (see skipindex/document_codec.h).
+///
+/// Supported: elements, attributes, character data with entity references,
+/// comments, processing instructions and XML declarations (skipped),
+/// CDATA sections, self-closing tags. Not supported (ParseError or
+/// NotSupported): DTDs, namespaces beyond treating ':' as a name char.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/event.h"
+
+namespace csxa::xml {
+
+/// \brief Parser options.
+struct ParserOptions {
+  /// Drop text events that consist solely of whitespace (typical for
+  /// pretty-printed documents).
+  bool skip_whitespace_text = true;
+  /// Coalesce adjacent character data (including around CDATA) into a
+  /// single value event.
+  bool coalesce_text = true;
+};
+
+/// \brief Cursor-based pull parser over an in-memory document.
+class PullParser {
+ public:
+  explicit PullParser(std::string input, ParserOptions options = {});
+
+  /// Produces the next event; Event.type == kEnd after the root closes.
+  /// Returns ParseError on malformed input.
+  Result<Event> Next();
+
+  /// Current 1-based line number (for error messages).
+  int line() const { return line_; }
+
+  /// Convenience: parses the whole document, pushing every event (including
+  /// the trailing kEnd) into `sink`.
+  static Status ParseAll(const std::string& input, EventSink* sink,
+                         ParserOptions options = {});
+
+  /// Convenience: parses the whole document into an event vector
+  /// (excluding the trailing kEnd).
+  static Result<std::vector<Event>> ParseToEvents(const std::string& input,
+                                                  ParserOptions options = {});
+
+ private:
+  Status SkipMisc();               // whitespace, comments, PIs between markup
+  Status SkipComment();            // after "<!--"
+  Status SkipProcessingInstruction();  // after "<?"
+  Result<Event> ParseOpenTag();    // after '<'
+  Result<Event> ParseCloseTag();   // after "</"
+  Result<std::string> ParseName();
+  Result<std::string> ParseAttrValue();
+  Status Error(const std::string& msg) const;
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Lookahead(const char* s) const;
+  void Advance();
+
+  std::string input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  ParserOptions options_;
+  int depth_ = 0;
+  bool root_seen_ = false;
+  bool done_ = false;
+  // Pending end-tag event for self-closing elements.
+  bool pending_close_ = false;
+  std::string pending_close_name_;
+  std::vector<std::string> open_tags_;
+};
+
+}  // namespace csxa::xml
+
+#endif  // CSXA_XML_PARSER_H_

@@ -1,0 +1,51 @@
+#include "xml/writer.h"
+
+#include "xml/escape.h"
+
+namespace csxa::xml {
+
+Status CanonicalWriter::OnEvent(const Event& event) {
+  switch (event.type) {
+    case EventType::kOpen:
+      out_.push_back('<');
+      out_ += event.name;
+      for (const Attribute& a : event.attrs) {
+        out_.push_back(' ');
+        out_ += a.name;
+        out_ += "=\"";
+        out_ += Escape(a.value);
+        out_.push_back('"');
+      }
+      out_.push_back('>');
+      ++depth_;
+      return Status::OK();
+    case EventType::kValue:
+      out_ += Escape(event.text);
+      return Status::OK();
+    case EventType::kClose:
+      if (depth_ == 0) {
+        return Status::InvalidArgument("close event without open");
+      }
+      out_ += "</";
+      out_ += event.name;
+      out_.push_back('>');
+      --depth_;
+      return Status::OK();
+    case EventType::kEnd:
+      return Status::OK();
+  }
+  return Status::Internal("unknown event type");
+}
+
+Result<std::string> RenderEvents(const std::vector<Event>& events) {
+  CanonicalWriter w;
+  for (const Event& e : events) {
+    CSXA_RETURN_IF_ERROR(w.OnEvent(e));
+  }
+  if (!w.complete()) {
+    return Status::InvalidArgument("unbalanced event stream");
+  }
+  return w.str();
+}
+
+}  // namespace csxa::xml

@@ -1,0 +1,124 @@
+#include "xpath/ast.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace csxa::xpath {
+
+const char* CmpOpToken(CmpOp op) {
+  switch (op) {
+    case CmpOp::kExists:
+      return "";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+size_t PathExpr::TotalSteps() const {
+  size_t n = 0;
+  for (const Step& s : steps) {
+    n += 1;
+    for (const Predicate& p : s.predicates) n += p.path.steps.size();
+  }
+  return n;
+}
+
+size_t PathExpr::PredicateCount() const {
+  size_t n = 0;
+  for (const Step& s : steps) n += s.predicates.size();
+  return n;
+}
+
+namespace {
+void AppendStep(const Step& s, bool first_relative, std::string* out) {
+  if (s.axis == Axis::kDescendant) {
+    *out += first_relative ? ".//" : "//";
+  } else {
+    *out += first_relative ? "" : "/";
+  }
+  *out += s.wildcard ? "*" : s.tag;
+  for (const Predicate& p : s.predicates) {
+    out->push_back('[');
+    *out += ToString(p.path);
+    if (p.op != CmpOp::kExists) {
+      *out += CmpOpToken(p.op);
+      out->push_back('"');
+      *out += p.literal;
+      out->push_back('"');
+    }
+    out->push_back(']');
+  }
+}
+}  // namespace
+
+std::string ToString(const PathExpr& expr) {
+  std::string out;
+  for (const Step& s : expr.steps) {
+    AppendStep(s, /*first_relative=*/false, &out);
+  }
+  return out;
+}
+
+std::string ToString(const RelativePath& path) {
+  std::string out;
+  bool first = true;
+  for (const Step& s : path.steps) {
+    AppendStep(s, first, &out);
+    first = false;
+  }
+  return out;
+}
+
+namespace {
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool ParseNumber(const std::string& s, double* out) {
+  std::string t = Trim(s);
+  if (t.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(t.c_str(), &end);
+  return end == t.c_str() + t.size();
+}
+}  // namespace
+
+bool CompareValue(const std::string& node_value, CmpOp op,
+                  const std::string& literal) {
+  double a, b;
+  bool numeric = ParseNumber(node_value, &a) && ParseNumber(literal, &b);
+  switch (op) {
+    case CmpOp::kExists:
+      return true;
+    case CmpOp::kEq:
+      return numeric ? a == b : Trim(node_value) == Trim(literal);
+    case CmpOp::kNe:
+      return numeric ? a != b : Trim(node_value) != Trim(literal);
+    case CmpOp::kLt:
+      return numeric && a < b;
+    case CmpOp::kLe:
+      return numeric && a <= b;
+    case CmpOp::kGt:
+      return numeric && a > b;
+    case CmpOp::kGe:
+      return numeric && a >= b;
+  }
+  return false;
+}
+
+}  // namespace csxa::xpath

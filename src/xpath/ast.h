@@ -1,0 +1,104 @@
+#ifndef CSXA_XPATH_AST_H_
+#define CSXA_XPATH_AST_H_
+
+/// \file ast.h
+/// \brief Abstract syntax for the XPath fragment XP{[],*,//}.
+///
+/// The paper's access rules and queries use "a rather robust subset of
+/// XPath ... node tests, the child axis (/), the descendant axis (//),
+/// wildcards (*) and predicates or branches [...]" (§2.2, citing Miklau &
+/// Suciu). Predicates are relative paths, optionally ending in a comparison
+/// of the target node's string-value against a literal.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace csxa::xpath {
+
+/// Axis connecting a step to its predecessor.
+enum class Axis : uint8_t {
+  /// `/` — the step matches a child.
+  kChild,
+  /// `//` — the step matches any descendant.
+  kDescendant,
+};
+
+/// Comparison operator in a value predicate; kExists when the predicate is
+/// purely structural (`[path]`).
+enum class CmpOp : uint8_t {
+  kExists,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// Human-readable operator token ("=", "!=", ...).
+const char* CmpOpToken(CmpOp op);
+
+struct Predicate;
+
+/// \brief One location step: axis, node test, and attached predicates.
+struct Step {
+  Axis axis = Axis::kChild;
+  /// Element name test; ignored when `wildcard` is true.
+  std::string tag;
+  /// True for `*`.
+  bool wildcard = false;
+  /// Conjunctive predicates attached to this step.
+  std::vector<Predicate> predicates;
+};
+
+/// \brief A relative path (used inside predicates).
+struct RelativePath {
+  std::vector<Step> steps;
+};
+
+/// \brief A predicate: `[path]` or `[path op literal]`.
+///
+/// Semantics are existential within the context node's subtree: the
+/// predicate holds iff some node reachable by `path` from the context node
+/// exists (kExists) or has a string-value satisfying the comparison.
+struct Predicate {
+  RelativePath path;
+  CmpOp op = CmpOp::kExists;
+  /// Comparison literal (string or numeric form as written).
+  std::string literal;
+};
+
+/// \brief A complete (absolute) path expression.
+///
+/// The first step's axis distinguishes `/a` (child of the virtual document
+/// root, i.e. the root element test) from `//a` (any element).
+struct PathExpr {
+  std::vector<Step> steps;
+
+  /// True if the expression has at least one step.
+  bool valid() const { return !steps.empty(); }
+  /// Total number of steps including predicate paths (complexity measure).
+  size_t TotalSteps() const;
+  /// Number of predicates across all steps (including nested — the
+  /// fragment has no nested predicates, so this is a flat count).
+  size_t PredicateCount() const;
+};
+
+/// Serializes back to XPath syntax (round-trips through the parser).
+std::string ToString(const PathExpr& expr);
+/// Serializes a relative path.
+std::string ToString(const RelativePath& path);
+
+/// \brief Compares a node string-value against a predicate literal.
+///
+/// `=`/`!=` compare numerically when both sides parse as numbers and as
+/// trimmed strings otherwise; ordered operators require both sides to be
+/// numeric and are false otherwise (documented deviation: XPath 1.0 would
+/// coerce NaN, which the card engine has no float formatting for).
+bool CompareValue(const std::string& node_value, CmpOp op,
+                  const std::string& literal);
+
+}  // namespace csxa::xpath
+
+#endif  // CSXA_XPATH_AST_H_

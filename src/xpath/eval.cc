@@ -1,0 +1,160 @@
+#include "xpath/eval.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace csxa::xpath {
+
+using xml::DomNode;
+
+namespace {
+
+bool NameTestMatches(const Step& step, const DomNode* n) {
+  if (!n->is_element()) return false;
+  return step.wildcard || step.tag == n->tag();
+}
+
+void CollectDescendantElements(const DomNode* n, std::vector<const DomNode*>* out) {
+  for (const auto& c : n->children()) {
+    if (c->is_element()) {
+      out->push_back(c.get());
+      CollectDescendantElements(c.get(), out);
+    }
+  }
+}
+
+// Applies one step to a single context node, appending matches.
+void ApplyStep(const DomNode* ctx, const Step& step,
+               std::vector<const DomNode*>* out) {
+  if (step.axis == Axis::kChild) {
+    for (const auto& c : ctx->children()) {
+      if (NameTestMatches(step, c.get()) ) {
+        bool ok = true;
+        for (const Predicate& p : step.predicates) {
+          if (!PredicateHolds(c.get(), p)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) out->push_back(c.get());
+      }
+    }
+  } else {
+    std::vector<const DomNode*> descendants;
+    CollectDescendantElements(ctx, &descendants);
+    for (const DomNode* d : descendants) {
+      if (NameTestMatches(step, d)) {
+        bool ok = true;
+        for (const Predicate& p : step.predicates) {
+          if (!PredicateHolds(d, p)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) out->push_back(d);
+      }
+    }
+  }
+}
+
+// Deduplicates while keeping first occurrence; then restores document order
+// by a pre-order index map.
+void Dedupe(std::vector<const DomNode*>* nodes) {
+  std::unordered_set<const DomNode*> seen;
+  std::vector<const DomNode*> out;
+  out.reserve(nodes->size());
+  for (const DomNode* n : *nodes) {
+    if (seen.insert(n).second) out.push_back(n);
+  }
+  *nodes = std::move(out);
+}
+
+std::vector<const DomNode*> EvalSteps(const std::vector<const DomNode*>& start,
+                                      const std::vector<Step>& steps) {
+  std::vector<const DomNode*> ctx = start;
+  for (const Step& step : steps) {
+    std::vector<const DomNode*> next;
+    for (const DomNode* c : ctx) {
+      ApplyStep(c, step, &next);
+    }
+    Dedupe(&next);
+    ctx = std::move(next);
+    if (ctx.empty()) break;
+  }
+  return ctx;
+}
+
+void IndexPreorder(const DomNode* n, size_t* counter,
+                   std::unordered_map<const DomNode*, size_t>* idx);
+
+}  // namespace
+
+bool PredicateHolds(const DomNode* ctx, const Predicate& pred) {
+  std::vector<const DomNode*> matches = EvalSteps({ctx}, pred.path.steps);
+  if (pred.op == CmpOp::kExists) return !matches.empty();
+  for (const DomNode* m : matches) {
+    // Value predicates compare the matched node's *direct* text — the
+    // streaming-friendly semantics shared with core/obligation.h.
+    if (CompareValue(m->DirectText(), pred.op, pred.literal)) return true;
+  }
+  return false;
+}
+
+std::vector<const DomNode*> SelectNodes(const DomNode* root,
+                                        const PathExpr& expr) {
+  if (root == nullptr || !expr.valid()) return {};
+  // The virtual document root has `root` as its only child; a first step on
+  // the descendant axis ranges over root and all its descendants.
+  std::vector<const DomNode*> ctx;
+  const Step& first = expr.steps[0];
+  std::vector<const DomNode*> candidates;
+  if (first.axis == Axis::kChild) {
+    candidates.push_back(root);
+  } else {
+    candidates.push_back(root);
+    CollectDescendantElements(root, &candidates);
+  }
+  for (const DomNode* c : candidates) {
+    if (NameTestMatches(first, c)) {
+      bool ok = true;
+      for (const Predicate& p : first.predicates) {
+        if (!PredicateHolds(c, p)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ctx.push_back(c);
+    }
+  }
+  std::vector<Step> rest(expr.steps.begin() + 1, expr.steps.end());
+  std::vector<const DomNode*> result = EvalSteps(ctx, rest);
+
+  // Restore document order.
+  std::unordered_map<const DomNode*, size_t> order;
+  size_t counter = 0;
+  IndexPreorder(root, &counter, &order);
+  std::sort(result.begin(), result.end(),
+            [&order](const DomNode* a, const DomNode* b) {
+              return order[a] < order[b];
+            });
+  return result;
+}
+
+namespace {
+void IndexPreorder(const DomNode* n, size_t* counter,
+                   std::unordered_map<const DomNode*, size_t>* idx) {
+  (*idx)[n] = (*counter)++;
+  for (const auto& c : n->children()) {
+    if (c->is_element()) IndexPreorder(c.get(), counter, idx);
+  }
+}
+}  // namespace
+
+bool MatchesNode(const DomNode* root, const PathExpr& expr,
+                 const DomNode* target) {
+  std::vector<const DomNode*> all = SelectNodes(root, expr);
+  return std::find(all.begin(), all.end(), target) != all.end();
+}
+
+}  // namespace csxa::xpath

@@ -1,0 +1,35 @@
+#ifndef CSXA_XPATH_EVAL_H_
+#define CSXA_XPATH_EVAL_H_
+
+/// \file eval.h
+/// \brief DOM-based XPath evaluation — the reference oracle.
+///
+/// This evaluator materializes the document (which the SOE cannot do) and
+/// is used only by tests, the trusted-server baseline and the
+/// subset-encryption baseline. The streaming engine in core/ must agree
+/// with it on every document; that agreement is the central property test.
+
+#include <vector>
+
+#include "xml/dom.h"
+#include "xpath/ast.h"
+
+namespace csxa::xpath {
+
+/// Selects the element nodes matched by an absolute expression, in
+/// document order, without duplicates. `root` is the document root element.
+std::vector<const xml::DomNode*> SelectNodes(const xml::DomNode* root,
+                                             const PathExpr& expr);
+
+/// True iff `pred` holds at context element `ctx` (existential semantics
+/// over ctx's subtree; see ast.h for comparison rules).
+bool PredicateHolds(const xml::DomNode* ctx, const Predicate& pred);
+
+/// True iff `target` (an element) is matched by `expr` evaluated from
+/// `root`. Equivalent to membership in SelectNodes but short-circuits.
+bool MatchesNode(const xml::DomNode* root, const PathExpr& expr,
+                 const xml::DomNode* target);
+
+}  // namespace csxa::xpath
+
+#endif  // CSXA_XPATH_EVAL_H_

@@ -1,0 +1,188 @@
+// APDU-level tests of the card applet state machine: command ordering,
+// error status words, output paging — the "integration inside the SOE"
+// face of demonstration objective 2.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "dsp/store.h"
+#include "proxy/publisher.h"
+#include "pki/registry.h"
+#include "soe/applet.h"
+#include "xml/generator.h"
+
+namespace csxa {
+namespace {
+
+using soe::ApduCommand;
+using soe::ApduResponse;
+using soe::CsxaApplet;
+using soe::Ins;
+
+struct AppletFixture {
+  dsp::DspServer server;
+  pki::KeyRegistry registry;
+  proxy::Publisher publisher{&server, &registry, 808};
+  crypto::SymmetricKey key;
+  Bytes header;
+  Bytes sealed_rules;
+  std::unique_ptr<dsp::DspChunkProvider> provider;
+  CsxaApplet applet{soe::CardProfile::EGate()};
+
+  AppletFixture() {
+    xml::GeneratorParams gp;
+    gp.profile = xml::DocProfile::kAgenda;
+    gp.target_elements = 120;
+    gp.seed = 3;
+    auto doc = xml::GenerateDocument(gp);
+    auto receipt =
+        publisher.Publish("doc", doc, "+ u /agenda\n- u //note\n");
+    CSXA_CHECK(receipt.ok());
+    key = receipt.value().key;
+    header = server.GetHeader("doc").value();
+    sealed_rules = server.GetSealedRules("doc").value();
+    provider = std::make_unique<dsp::DspChunkProvider>(&server, "doc");
+    applet.SetChunkProvider(provider.get());
+  }
+
+  ApduResponse Select() {
+    ApduCommand cmd;
+    cmd.ins = Ins::kSelectDocument;
+    ByteWriter w;
+    w.PutString("doc");
+    w.PutLengthPrefixed(header);
+    cmd.data = w.Take();
+    return applet.Process(cmd);
+  }
+  ApduResponse PutRules() {
+    ApduCommand cmd;
+    cmd.ins = Ins::kPutRules;
+    cmd.data = sealed_rules;
+    return applet.Process(cmd);
+  }
+  ApduResponse Run(const std::string& subject, const std::string& query) {
+    ApduCommand cmd;
+    cmd.ins = Ins::kRunQuery;
+    ByteWriter w;
+    w.PutString(subject);
+    w.PutString(query);
+    w.PutU8(1);  // use_skip
+    cmd.data = w.Take();
+    return applet.Process(cmd);
+  }
+};
+
+TEST(AppletTest, FullCommandSequence) {
+  AppletFixture fx;
+  fx.applet.InstallKey("doc", fx.key);
+  EXPECT_EQ(fx.Select().sw, soe::kSwOk);
+  EXPECT_EQ(fx.PutRules().sw, soe::kSwOk);
+  ApduResponse run = fx.Run("u", "");
+  ASSERT_EQ(run.sw, soe::kSwOk);
+  ByteReader r(run.data);
+  uint64_t output_size = 0;
+  ASSERT_TRUE(r.GetU64(&output_size));
+  EXPECT_GT(output_size, 0u);
+
+  // Page the output out.
+  std::string xml;
+  for (;;) {
+    ApduCommand fetch;
+    fetch.ins = Ins::kFetchOutput;
+    ApduResponse slice = fx.applet.Process(fetch);
+    ASSERT_TRUE(slice.ok());
+    xml.append(reinterpret_cast<const char*>(slice.data.data()),
+               slice.data.size());
+    if (slice.sw == soe::kSwOk) break;
+    EXPECT_EQ(slice.sw, soe::kSwMoreData);
+    EXPECT_LE(slice.data.size(), 240u);
+  }
+  EXPECT_EQ(xml.size(), output_size);
+  EXPECT_NE(xml.find("<agenda>"), std::string::npos);
+  EXPECT_EQ(xml.find("<note>"), std::string::npos);
+
+  // Stats after a session.
+  ApduCommand stats;
+  stats.ins = Ins::kGetStats;
+  ApduResponse sresp = fx.applet.Process(stats);
+  EXPECT_EQ(sresp.sw, soe::kSwOk);
+  EXPECT_EQ(sresp.data.size(), 6 * 8u);
+}
+
+TEST(AppletTest, SelectWithoutKeyIsSecurityError) {
+  AppletFixture fx;
+  EXPECT_EQ(fx.Select().sw, soe::kSwSecurityStatus);
+}
+
+TEST(AppletTest, RunBeforeSelectFails) {
+  AppletFixture fx;
+  fx.applet.InstallKey("doc", fx.key);
+  EXPECT_EQ(fx.Run("u", "").sw, soe::kSwConditionsNotSatisfied);
+}
+
+TEST(AppletTest, RunWithoutRulesFails) {
+  AppletFixture fx;
+  fx.applet.InstallKey("doc", fx.key);
+  ASSERT_EQ(fx.Select().sw, soe::kSwOk);
+  EXPECT_EQ(fx.Run("u", "").sw, soe::kSwConditionsNotSatisfied);
+}
+
+TEST(AppletTest, TamperedRulesGiveSecurityStatus) {
+  AppletFixture fx;
+  fx.applet.InstallKey("doc", fx.key);
+  ASSERT_EQ(fx.Select().sw, soe::kSwOk);
+  fx.sealed_rules[30] ^= 1;
+  ASSERT_EQ(fx.PutRules().sw, soe::kSwOk);  // opaque blob accepted...
+  EXPECT_EQ(fx.Run("u", "").sw, soe::kSwSecurityStatus);  // ...caught here
+}
+
+TEST(AppletTest, MalformedCommandsRejected) {
+  AppletFixture fx;
+  fx.applet.InstallKey("doc", fx.key);
+  ApduCommand bad;
+  bad.ins = Ins::kSelectDocument;
+  bad.data = Bytes{1, 2};  // truncated
+  EXPECT_EQ(fx.applet.Process(bad).sw, soe::kSwWrongData);
+
+  ApduCommand unknown;
+  unknown.ins = static_cast<Ins>(0xEE);
+  EXPECT_EQ(fx.applet.Process(unknown).sw, soe::kSwConditionsNotSatisfied);
+}
+
+TEST(AppletTest, BadQuerySurfacesAsInternalFamily) {
+  AppletFixture fx;
+  fx.applet.InstallKey("doc", fx.key);
+  ASSERT_EQ(fx.Select().sw, soe::kSwOk);
+  ASSERT_EQ(fx.PutRules().sw, soe::kSwOk);
+  ApduResponse resp = fx.Run("u", "][not xpath");
+  EXPECT_NE(resp.sw, soe::kSwOk);
+}
+
+TEST(AppletTest, EndSessionResetsState) {
+  AppletFixture fx;
+  fx.applet.InstallKey("doc", fx.key);
+  ASSERT_EQ(fx.Select().sw, soe::kSwOk);
+  ASSERT_EQ(fx.PutRules().sw, soe::kSwOk);
+  ASSERT_EQ(fx.Run("u", "").sw, soe::kSwOk);
+  ApduCommand end;
+  end.ins = Ins::kEndSession;
+  EXPECT_EQ(fx.applet.Process(end).sw, soe::kSwOk);
+  ApduCommand fetch;
+  fetch.ins = Ins::kFetchOutput;
+  EXPECT_EQ(fx.applet.Process(fetch).sw, soe::kSwConditionsNotSatisfied);
+}
+
+TEST(AppletTest, InstallKeyOverApdu) {
+  AppletFixture fx;
+  ApduCommand cmd;
+  cmd.ins = Ins::kInstallKey;
+  ByteWriter w;
+  w.PutString("doc");
+  w.PutLengthPrefixed(fx.key.bytes());
+  cmd.data = w.Take();
+  EXPECT_EQ(fx.applet.Process(cmd).sw, soe::kSwOk);
+  EXPECT_EQ(fx.Select().sw, soe::kSwOk);
+}
+
+}  // namespace
+}  // namespace csxa

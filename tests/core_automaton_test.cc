@@ -1,0 +1,130 @@
+// Unit tests for NFA compilation (Fig. 2) and the conservative
+// reachability test that drives skip decisions.
+
+#include <gtest/gtest.h>
+
+#include "core/automaton.h"
+#include "xpath/parser.h"
+
+namespace csxa {
+namespace {
+
+using core::CanReachFinal;
+using core::CompiledRule;
+using core::CompileExpr;
+
+CompiledRule Compile(const std::string& path) {
+  auto expr = xpath::ParsePath(path);
+  EXPECT_TRUE(expr.ok()) << path;
+  auto rule = CompileExpr(expr.value(), true);
+  EXPECT_TRUE(rule.ok()) << path;
+  return std::move(rule).value();
+}
+
+TEST(AutomatonTest, ChildChainShape) {
+  CompiledRule r = Compile("/a/b/c");
+  ASSERT_EQ(r.nav.states.size(), 4u);
+  EXPECT_EQ(r.nav.final_state, 3);
+  EXPECT_FALSE(r.nav.states[0].self_loop);
+  EXPECT_EQ(r.nav.states[0].tag, "a");
+  EXPECT_EQ(r.nav.states[2].tag, "c");
+  EXPECT_TRUE(r.predicates.empty());
+}
+
+TEST(AutomatonTest, DescendantSelfLoops) {
+  CompiledRule r = Compile("//a/b//c");
+  EXPECT_TRUE(r.nav.states[0].self_loop);   // //a
+  EXPECT_FALSE(r.nav.states[1].self_loop);  // /b
+  EXPECT_TRUE(r.nav.states[2].self_loop);   // //c
+}
+
+TEST(AutomatonTest, WildcardStep) {
+  CompiledRule r = Compile("/a/*/c");
+  EXPECT_FALSE(r.nav.states[0].wildcard);
+  EXPECT_TRUE(r.nav.states[1].wildcard);
+}
+
+TEST(AutomatonTest, PredicatesAttachToEnteredState) {
+  // Fig. 2: R = //b[c]/d — predicate path attached at the state entered
+  // when matching b.
+  CompiledRule r = Compile("//b[c]/d");
+  ASSERT_EQ(r.predicates.size(), 1u);
+  EXPECT_TRUE(r.nav.states[0].pred_ids.empty());
+  ASSERT_EQ(r.nav.states[1].pred_ids.size(), 1u);  // entered after b
+  EXPECT_EQ(r.nav.states[1].pred_ids[0], 0);
+  const auto& pred = r.predicates[0];
+  EXPECT_EQ(pred.states.size(), 2u);
+  EXPECT_EQ(pred.states[0].tag, "c");
+  EXPECT_EQ(pred.op, xpath::CmpOp::kExists);
+}
+
+TEST(AutomatonTest, ValuePredicateCarriesComparison) {
+  CompiledRule r = Compile("//a[b>=\"10\"]");
+  ASSERT_EQ(r.predicates.size(), 1u);
+  EXPECT_EQ(r.predicates[0].op, xpath::CmpOp::kGe);
+  EXPECT_EQ(r.predicates[0].literal, "10");
+}
+
+TEST(AutomatonTest, MultiplePredicatesPerStep) {
+  CompiledRule r = Compile("//a[b][c=\"1\"]/d");
+  EXPECT_EQ(r.predicates.size(), 2u);
+  EXPECT_EQ(r.nav.states[1].pred_ids.size(), 2u);
+}
+
+TEST(AutomatonTest, TotalStatesCountsPredicates) {
+  CompiledRule r = Compile("//a[b/c]/d");
+  // nav: 3 states (start, a, d) ... start + 2 steps = 3; pred: start + 2 = 3.
+  EXPECT_EQ(r.TotalStates(), 3u + 3u);
+}
+
+TEST(ReachabilityTest, TagGateControlsTraversal) {
+  CompiledRule r = Compile("//a/b");
+  auto in_set = [](std::initializer_list<const char*> tags) {
+    std::vector<std::string> v;
+    for (const char* t : tags) v.emplace_back(t);
+    return [v](const std::string& tag) {
+      for (const auto& s : v) {
+        if (s == tag) return true;
+      }
+      return false;
+    };
+  };
+  // From the start state, both a and b must be present.
+  EXPECT_TRUE(CanReachFinal(r.nav, {0}, in_set({"a", "b"}), true));
+  EXPECT_FALSE(CanReachFinal(r.nav, {0}, in_set({"a"}), true));
+  EXPECT_FALSE(CanReachFinal(r.nav, {0}, in_set({"b", "x"}), false));
+  // From state 1 (a already matched) only b is needed.
+  EXPECT_TRUE(CanReachFinal(r.nav, {1}, in_set({"b"}), true));
+  EXPECT_FALSE(CanReachFinal(r.nav, {1}, in_set({"a"}), true));
+}
+
+TEST(ReachabilityTest, WildcardNeedsNonEmptySubtree) {
+  CompiledRule r = Compile("//*/secret");
+  auto has_secret = [](const std::string& t) { return t == "secret"; };
+  EXPECT_TRUE(CanReachFinal(r.nav, {0}, has_secret, true));
+  EXPECT_FALSE(CanReachFinal(r.nav, {0}, has_secret, false));
+}
+
+TEST(ReachabilityTest, FinalStateInActiveSetIsReachable) {
+  CompiledRule r = Compile("//a");
+  EXPECT_TRUE(CanReachFinal(
+      r.nav, {r.nav.final_state}, [](const std::string&) { return false; },
+      true));
+}
+
+TEST(ReachabilityTest, EmptyActiveSetUnreachable) {
+  CompiledRule r = Compile("//a");
+  EXPECT_FALSE(CanReachFinal(
+      r.nav, {}, [](const std::string&) { return true; }, true));
+}
+
+TEST(AutomatonTest, NestedPredicatesRejected) {
+  auto expr = xpath::ParsePath("//a[b[c]]");
+  ASSERT_TRUE(expr.ok());  // grammar accepts it...
+  auto rule = CompileExpr(expr.value(), true);
+  EXPECT_FALSE(rule.ok());  // ...but the streaming fragment refuses it
+  EXPECT_EQ(rule.status().code(), StatusCode::kNotSupported);
+}
+
+}  // namespace
+}  // namespace csxa

@@ -1,0 +1,121 @@
+// The central property test: on randomized documents × randomized rule
+// sets × randomized queries, the streaming evaluator's delivered view must
+// equal the DOM oracle's, byte for byte in canonical form.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "core/ref_evaluator.h"
+#include "workload/rulegen.h"
+#include "xml/generator.h"
+#include "xml/writer.h"
+#include "xpath/parser.h"
+
+namespace csxa {
+namespace {
+
+struct PropertyParams {
+  xml::DocProfile profile;
+  size_t doc_elements;
+  size_t num_rules;
+  double predicate_prob;
+  bool with_query;
+  uint64_t seed_base;
+  int iterations;
+};
+
+class OracleAgreement : public ::testing::TestWithParam<PropertyParams> {};
+
+std::string StreamView(const xml::DomDocument& doc,
+                       const std::vector<core::AccessRule>& rules,
+                       const xpath::PathExpr* query, Status* status_out) {
+  xml::CanonicalWriter out;
+  auto ev = core::StreamingEvaluator::Create(rules, query, &out);
+  if (!ev.ok()) {
+    *status_out = ev.status();
+    return "";
+  }
+  Status st = doc.root()->EmitEvents(ev.value().get());
+  if (st.ok()) st = ev.value()->Finish();
+  *status_out = st;
+  return out.str();
+}
+
+TEST_P(OracleAgreement, StreamingMatchesDom) {
+  const PropertyParams& p = GetParam();
+  for (int iter = 0; iter < p.iterations; ++iter) {
+    uint64_t seed = p.seed_base + static_cast<uint64_t>(iter);
+    xml::GeneratorParams gp;
+    gp.profile = p.profile;
+    gp.target_elements = p.doc_elements;
+    gp.seed = seed;
+    gp.vocabulary = 6;
+    gp.max_depth = 7;
+    xml::DomDocument doc = xml::GenerateDocument(gp);
+    ASSERT_NE(doc.root(), nullptr);
+
+    Rng rng(seed * 7919 + 13);
+    workload::RuleGenParams rp;
+    rp.num_rules = p.num_rules;
+    rp.path.predicate_prob = p.predicate_prob;
+    core::RuleSet rules = workload::GenerateRules(doc, "u", rp, &rng);
+
+    xpath::PathExpr qexpr;
+    const xpath::PathExpr* qptr = nullptr;
+    if (p.with_query) {
+      auto tags = workload::CollectTags(doc);
+      auto values = workload::CollectValues(doc);
+      workload::PathGenParams qp;
+      qp.predicate_prob = p.predicate_prob;
+      std::string qtext = workload::GeneratePathText(tags, values, qp, &rng);
+      auto q = xpath::ParsePath(qtext);
+      ASSERT_TRUE(q.ok()) << qtext;
+      qexpr = std::move(q).value();
+      qptr = &qexpr;
+    }
+
+    Status st = Status::OK();
+    std::string streamed =
+        StreamView(doc, rules.ForSubject("u"), qptr, &st);
+    ASSERT_TRUE(st.ok()) << st.ToString() << "\nseed=" << seed
+                         << "\nrules:\n" << rules.ToText();
+    auto ref = core::BuildAuthorizedView(doc, rules.ForSubject("u"), qptr);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    EXPECT_EQ(streamed, ref.value().Serialize())
+        << "seed=" << seed << "\nrules:\n"
+        << rules.ToText()
+        << (qptr ? ("query: " + xpath::ToString(*qptr)) : std::string());
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDocs, OracleAgreement,
+    ::testing::Values(
+        // Adversarial random structure, no predicates.
+        PropertyParams{xml::DocProfile::kRandom, 60, 5, 0.0, false, 1000, 40},
+        // Random structure with predicates (pending machinery).
+        PropertyParams{xml::DocProfile::kRandom, 60, 5, 0.5, false, 2000, 40},
+        // Random structure, predicates and queries together.
+        PropertyParams{xml::DocProfile::kRandom, 80, 6, 0.4, true, 3000, 40},
+        // Realistic profiles.
+        PropertyParams{xml::DocProfile::kAgenda, 150, 6, 0.3, true, 4000, 15},
+        PropertyParams{xml::DocProfile::kHospital, 150, 6, 0.3, true, 5000, 15},
+        PropertyParams{xml::DocProfile::kNewsFeed, 150, 6, 0.3, true, 6000, 15},
+        // Many rules, heavier conflict interaction.
+        PropertyParams{xml::DocProfile::kRandom, 100, 16, 0.3, false, 7000, 20},
+        // Deep narrow documents (stack stress).
+        PropertyParams{xml::DocProfile::kRandom, 40, 4, 0.5, true, 8000, 40}),
+    [](const ::testing::TestParamInfo<PropertyParams>& info) {
+      const PropertyParams& p = info.param;
+      std::string name = xml::DocProfileName(p.profile);
+      name += "_r" + std::to_string(p.num_rules);
+      name += p.with_query ? "_q1" : "_q0";
+      name += "_p" + std::to_string(static_cast<int>(p.predicate_prob * 100));
+      name += "_s" + std::to_string(p.seed_base);
+      return name;
+    });
+
+}  // namespace
+}  // namespace csxa

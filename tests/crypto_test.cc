@@ -1,0 +1,309 @@
+// Crypto substrate tests: FIPS-197 AES vectors, FIPS 180-4 SHA-256
+// vectors, RFC 4231 HMAC vectors, mode round-trips, Merkle proofs and the
+// container's tamper-detection property (every flipped bit is caught).
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/random.h"
+#include "crypto/aes.h"
+#include "crypto/container.h"
+#include "crypto/keys.h"
+#include "crypto/merkle.h"
+#include "crypto/modes.h"
+#include "crypto/sha256.h"
+
+namespace csxa {
+namespace {
+
+using crypto::Aes128;
+using crypto::Digest;
+using crypto::MerkleTree;
+using crypto::SecureContainer;
+using crypto::Sha256;
+using crypto::SymmetricKey;
+
+Bytes FromHex(const std::string& h) { return HexDecode(h).value(); }
+
+TEST(AesTest, Fips197AppendixCVector) {
+  // FIPS-197 C.1: AES-128 with key 000102...0f on plaintext 00112233...
+  Bytes key = FromHex("000102030405060708090a0b0c0d0e0f");
+  Bytes plain = FromHex("00112233445566778899aabbccddeeff");
+  auto aes = Aes128::New(key);
+  ASSERT_TRUE(aes.ok());
+  uint8_t out[16];
+  aes.value().EncryptBlock(plain.data(), out);
+  EXPECT_EQ(HexEncode(Span(out, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  uint8_t back[16];
+  aes.value().DecryptBlock(out, back);
+  EXPECT_EQ(HexEncode(Span(back, 16)), HexEncode(plain));
+}
+
+TEST(AesTest, Fips197KeyExpansionVector) {
+  // Appendix B known ciphertext for key 2b7e1516... / plaintext 3243f6a8...
+  Bytes key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  Bytes plain = FromHex("3243f6a8885a308d313198a2e0370734");
+  auto aes = Aes128::New(key).value();
+  uint8_t out[16];
+  aes.EncryptBlock(plain.data(), out);
+  EXPECT_EQ(HexEncode(Span(out, 16)), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(AesTest, RejectsBadKeySize) {
+  Bytes key(15, 0);
+  EXPECT_FALSE(Aes128::New(key).ok());
+}
+
+TEST(Sha256Test, Fips180Vectors) {
+  EXPECT_EQ(HexEncode(Span(Sha256::Hash(Span(std::string("abc"))).data(), 32)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(HexEncode(Span(Sha256::Hash(Span(std::string(""))).data(), 32)),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      HexEncode(Span(
+          Sha256::Hash(Span(std::string(
+                           "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")))
+              .data(),
+          32)),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(Span(chunk));
+  EXPECT_EQ(HexEncode(Span(h.Finish().data(), 32)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Rng rng(5);
+  Bytes data;
+  for (int i = 0; i < 3000; ++i) data.push_back(static_cast<uint8_t>(rng.Next()));
+  Digest oneshot = Sha256::Hash(data);
+  Sha256 h;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t n = 1 + rng.Uniform(97);
+    if (n > data.size() - pos) n = data.size() - pos;
+    h.Update(Span(data.data() + pos, n));
+    pos += n;
+  }
+  EXPECT_EQ(HexEncode(Span(h.Finish().data(), 32)),
+            HexEncode(Span(oneshot.data(), 32)));
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Digest mac = crypto::HmacSha256(key, Span(std::string("Hi There")));
+  EXPECT_EQ(HexEncode(Span(mac.data(), 32)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  Digest mac = crypto::HmacSha256(Span(std::string("Jefe")),
+                                  Span(std::string("what do ya want for nothing?")));
+  EXPECT_EQ(HexEncode(Span(mac.data(), 32)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(ModesTest, CtrRoundTripAllLengths) {
+  auto aes = Aes128::New(FromHex("000102030405060708090a0b0c0d0e0f")).value();
+  crypto::Iv iv{};
+  Rng rng(9);
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+    Bytes plain;
+    for (size_t i = 0; i < len; ++i) plain.push_back(static_cast<uint8_t>(rng.Next()));
+    Bytes cipher, back;
+    crypto::CtrTransform(aes, iv, plain, &cipher);
+    crypto::CtrTransform(aes, iv, cipher, &back);
+    EXPECT_EQ(plain, back) << len;
+    if (len >= 16) {
+      EXPECT_NE(plain, cipher);
+    }
+  }
+}
+
+TEST(ModesTest, CbcRoundTripAndPadding) {
+  auto aes = Aes128::New(FromHex("2b7e151628aed2a6abf7158809cf4f3c")).value();
+  crypto::Iv iv{};
+  iv[0] = 0x42;
+  for (size_t len : {0u, 1u, 16u, 31u, 32u, 257u}) {
+    Bytes plain(len, 0x5A);
+    Bytes cipher = crypto::CbcEncrypt(aes, iv, plain);
+    EXPECT_EQ(cipher.size() % 16, 0u);
+    EXPECT_GT(cipher.size(), plain.size());  // PKCS#7 always pads
+    auto back = crypto::CbcDecrypt(aes, iv, cipher);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), plain);
+  }
+}
+
+TEST(ModesTest, CbcDetectsBadPadding) {
+  auto aes = Aes128::New(FromHex("2b7e151628aed2a6abf7158809cf4f3c")).value();
+  crypto::Iv iv{};
+  Bytes cipher = crypto::CbcEncrypt(aes, iv, Bytes(20, 1));
+  cipher.back() ^= 0xFF;
+  EXPECT_FALSE(crypto::CbcDecrypt(aes, iv, cipher).ok());
+}
+
+TEST(ModesTest, DerivedIvsDiffer) {
+  Bytes nonce(16, 7);
+  auto iv0 = crypto::DeriveCtrIv(nonce, 0);
+  auto iv1 = crypto::DeriveCtrIv(nonce, 1);
+  EXPECT_NE(HexEncode(Span(iv0.data(), 16)), HexEncode(Span(iv1.data(), 16)));
+}
+
+TEST(MerkleTest, ProofsVerifyForAllLeaves) {
+  for (size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 64u}) {
+    std::vector<Bytes> leaves;
+    for (size_t i = 0; i < n; ++i) leaves.push_back(Bytes(10, static_cast<uint8_t>(i)));
+    MerkleTree tree = MerkleTree::Build(leaves);
+    for (size_t i = 0; i < n; ++i) {
+      auto proof = tree.Prove(i);
+      ASSERT_TRUE(proof.ok());
+      EXPECT_TRUE(MerkleTree::Verify(tree.root(), i, n, leaves[i], proof.value()))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(MerkleTest, WrongLeafFailsVerification) {
+  std::vector<Bytes> leaves = {Bytes{1}, Bytes{2}, Bytes{3}};
+  MerkleTree tree = MerkleTree::Build(leaves);
+  auto proof = tree.Prove(1).value();
+  EXPECT_FALSE(MerkleTree::Verify(tree.root(), 1, 3, Bytes{9}, proof));
+  // Substitution: leaf 2's payload at index 1 must fail.
+  EXPECT_FALSE(MerkleTree::Verify(tree.root(), 1, 3, leaves[2], proof));
+}
+
+TEST(MerkleTest, ProofCodecRoundTrips) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 9; ++i) leaves.push_back(Bytes(4, static_cast<uint8_t>(i)));
+  MerkleTree tree = MerkleTree::Build(leaves);
+  auto proof = tree.Prove(6).value();
+  ByteWriter w;
+  MerkleTree::EncodeProof(proof, &w);
+  ByteReader r(w.bytes());
+  auto back = MerkleTree::DecodeProof(&r);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), proof.size());
+  EXPECT_TRUE(MerkleTree::Verify(tree.root(), 6, 9, leaves[6], back.value()));
+}
+
+TEST(KeysTest, DerivationIsLabelSeparated) {
+  Rng rng(1);
+  SymmetricKey k = SymmetricKey::Generate(&rng);
+  EXPECT_FALSE(k.Derive("enc") == k.Derive("mac"));
+  EXPECT_TRUE(k.Derive("enc") == k.Derive("enc"));
+}
+
+// Container tests run in both integrity modes: per-chunk keyed MACs (the
+// default) and Merkle proofs (keyless verifiability).
+class ContainerModeTest
+    : public ::testing::TestWithParam<crypto::IntegrityMode> {};
+
+TEST_P(ContainerModeTest, SealOpenRoundTrip) {
+  Rng rng(2);
+  SymmetricKey key = SymmetricKey::Generate(&rng);
+  Bytes payload;
+  for (int i = 0; i < 5000; ++i) payload.push_back(static_cast<uint8_t>(i * 7));
+  Bytes sealed = SecureContainer::Seal(key, payload, 512, &rng, GetParam());
+  auto opened = SecureContainer::OpenAll(key, sealed);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened.value(), payload);
+}
+
+TEST_P(ContainerModeTest, EmptyPayload) {
+  Rng rng(3);
+  SymmetricKey key = SymmetricKey::Generate(&rng);
+  Bytes sealed = SecureContainer::Seal(key, Bytes{}, 256, &rng, GetParam());
+  auto opened = SecureContainer::OpenAll(key, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened.value().empty());
+}
+
+TEST_P(ContainerModeTest, WrongKeyFailsRootMac) {
+  Rng rng(4);
+  SymmetricKey key = SymmetricKey::Generate(&rng);
+  SymmetricKey other = SymmetricKey::Generate(&rng);
+  Bytes sealed = SecureContainer::Seal(key, Bytes(1000, 1), 256, &rng,
+                                       GetParam());
+  auto opened = SecureContainer::OpenAll(other, sealed);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kIntegrityError);
+}
+
+// Property: every single-bit flip anywhere in the container is detected.
+TEST_P(ContainerModeTest, AnyBitFlipIsDetected) {
+  Rng rng(5);
+  SymmetricKey key = SymmetricKey::Generate(&rng);
+  Bytes payload;
+  for (int i = 0; i < 700; ++i) payload.push_back(static_cast<uint8_t>(rng.Next()));
+  Bytes sealed = SecureContainer::Seal(key, payload, 128, &rng, GetParam());
+  // Sample bit positions across the whole container (every byte would be
+  // slow; step through with a prime stride).
+  for (size_t pos = 0; pos < sealed.size(); pos += 13) {
+    Bytes tampered = sealed;
+    tampered[pos] ^= 0x01;
+    auto opened = SecureContainer::OpenAll(key, tampered);
+    EXPECT_FALSE(opened.ok()) << "undetected flip at byte " << pos;
+  }
+}
+
+TEST_P(ContainerModeTest, ChunkSubstitutionDetected) {
+  Rng rng(6);
+  SymmetricKey key = SymmetricKey::Generate(&rng);
+  Bytes payload(1024, 0xAA);
+  Bytes sealed = SecureContainer::Seal(key, payload, 256, &rng, GetParam());
+  auto container = SecureContainer::Parse(sealed).value();
+  ASSERT_TRUE(SecureContainer::VerifyRoot(key, container.header()).ok());
+  // Serve chunk 2's ciphertext with chunk 1's auth material and index.
+  auto cipher2 = container.ChunkCiphertext(2).value();
+  auto auth1 = container.GetChunkAuth(1).value();
+  auto res = SecureContainer::VerifyAndDecryptChunk(key, container.header(), 1,
+                                                    cipher2, auth1);
+  EXPECT_FALSE(res.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothModes, ContainerModeTest,
+    ::testing::Values(crypto::IntegrityMode::kChunkMac,
+                      crypto::IntegrityMode::kMerkle),
+    [](const ::testing::TestParamInfo<crypto::IntegrityMode>& info) {
+      return info.param == crypto::IntegrityMode::kChunkMac ? "ChunkMac"
+                                                            : "Merkle";
+    });
+
+TEST(ContainerTest, ModesProduceDifferentAuthTables) {
+  Rng rng(61);
+  SymmetricKey key = SymmetricKey::Generate(&rng);
+  Bytes payload(600, 0x33);
+  Bytes mac_sealed = SecureContainer::Seal(key, payload, 128, &rng,
+                                           crypto::IntegrityMode::kChunkMac);
+  auto mac_container = SecureContainer::Parse(mac_sealed).value();
+  EXPECT_EQ(mac_container.header().integrity,
+            crypto::IntegrityMode::kChunkMac);
+  auto auth = mac_container.GetChunkAuth(0).value();
+  EXPECT_TRUE(auth.proof.empty());
+  // MAC-mode auth is constant-size; Merkle-mode auth grows with the tree.
+  EXPECT_EQ(auth.WireBytes(crypto::IntegrityMode::kChunkMac), 32u);
+}
+
+TEST(RecordTest, SealOpenRoundTripAndTamper) {
+  Rng rng(7);
+  SymmetricKey key = SymmetricKey::Generate(&rng);
+  std::string msg = "+ alice //meeting\n- bob //note\n";
+  Bytes sealed = crypto::SealRecord(key, Span(msg), &rng);
+  auto opened = crypto::OpenRecord(key, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(Span(opened.value()).ToString(), msg);
+  for (size_t pos = 0; pos < sealed.size(); pos += 7) {
+    Bytes bad = sealed;
+    bad[pos] ^= 0x80;
+    EXPECT_FALSE(crypto::OpenRecord(key, bad).ok()) << pos;
+  }
+}
+
+}  // namespace
+}  // namespace csxa

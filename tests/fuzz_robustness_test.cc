@@ -1,0 +1,245 @@
+// Robustness suite: mutation fuzzing of every parser/decoder boundary in
+// the system. Invariant: malformed input must yield a clean Status (or a
+// correct parse), never a crash, hang or silent wrong answer.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/rule.h"
+#include "crypto/container.h"
+#include "skipindex/codec.h"
+#include "soe/apdu.h"
+#include "xml/generator.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace csxa {
+namespace {
+
+// --- XML parser fuzz --------------------------------------------------------
+
+TEST(FuzzTest, XmlParserSurvivesMutations) {
+  xml::GeneratorParams gp;
+  gp.profile = xml::DocProfile::kAgenda;
+  gp.target_elements = 60;
+  gp.seed = 1;
+  std::string base = xml::GenerateDocument(gp).Serialize();
+  Rng rng(2);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string mutated = base;
+    size_t edits = 1 + rng.Uniform(4);
+    for (size_t e = 0; e < edits; ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:
+          mutated.erase(pos, 1 + rng.Uniform(5));
+          break;
+        case 2:
+          mutated.insert(pos, std::string(1 + rng.Uniform(3),
+                                          static_cast<char>('<' + rng.Uniform(4))));
+          break;
+      }
+      if (mutated.empty()) mutated = "<";
+    }
+    // Must terminate with either a parse error or a consistent DOM.
+    auto doc = xml::DomDocument::Parse(mutated);
+    if (doc.ok()) {
+      auto reparsed = xml::DomDocument::Parse(doc.value().Serialize());
+      ASSERT_TRUE(reparsed.ok()) << "roundtrip failed on accepted input";
+      EXPECT_EQ(reparsed.value().Serialize(), doc.value().Serialize());
+    }
+  }
+}
+
+TEST(FuzzTest, XmlParserSurvivesTruncations) {
+  std::string base = "<a x=\"1\"><b>text &amp; more</b><![CDATA[raw]]></a>";
+  for (size_t cut = 0; cut < base.size(); ++cut) {
+    auto doc = xml::DomDocument::Parse(base.substr(0, cut));
+    // Every strict prefix is malformed for this document.
+    EXPECT_FALSE(doc.ok()) << "prefix length " << cut;
+  }
+}
+
+// --- XPath parser fuzz ------------------------------------------------------
+
+TEST(FuzzTest, XPathParserSurvivesRandomStrings) {
+  Rng rng(3);
+  const char kChars[] = "/ab*[]=\"'<>!.0 @()";
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::string s;
+    size_t len = 1 + rng.Uniform(24);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(kChars[rng.Uniform(sizeof(kChars) - 1)]);
+    }
+    auto expr = xpath::ParsePath(s);
+    if (expr.ok()) {
+      // Accepted expressions must round-trip through the printer.
+      std::string printed = xpath::ToString(expr.value());
+      auto again = xpath::ParsePath(printed);
+      ASSERT_TRUE(again.ok()) << s << " -> " << printed;
+      EXPECT_EQ(xpath::ToString(again.value()), printed);
+    }
+  }
+}
+
+// --- Document codec fuzz ----------------------------------------------------
+
+TEST(FuzzTest, DocumentDecoderSurvivesMutations) {
+  xml::GeneratorParams gp;
+  gp.profile = xml::DocProfile::kHospital;
+  gp.target_elements = 80;
+  gp.seed = 4;
+  auto doc = xml::GenerateDocument(gp);
+  Bytes encoded = skipindex::EncodeDocument(doc, {}).value();
+  Rng rng(5);
+  for (int iter = 0; iter < 300; ++iter) {
+    Bytes mutated = encoded;
+    size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] ^= static_cast<uint8_t>(1 + rng.Uniform(255));
+    skipindex::MemorySource src(mutated);
+    auto dec = skipindex::DocumentDecoder::Open(&src);
+    if (!dec.ok()) continue;
+    // Drain with a hard event bound; decoding must stop cleanly.
+    for (int events = 0; events < 100000; ++events) {
+      auto ev = dec.value()->Next();
+      if (!ev.ok() || ev.value().type == xml::EventType::kEnd) break;
+    }
+  }
+}
+
+TEST(FuzzTest, DocumentDecoderSurvivesTruncations) {
+  auto doc = xml::DomDocument::Parse("<a><b>text</b><c><d/></c></a>").value();
+  Bytes encoded = skipindex::EncodeDocument(doc, {}).value();
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    Bytes prefix(encoded.begin(), encoded.begin() + static_cast<long>(cut));
+    skipindex::MemorySource src(prefix);
+    auto dec = skipindex::DocumentDecoder::Open(&src);
+    if (!dec.ok()) continue;
+    Status st = Status::OK();
+    for (int events = 0; events < 1000; ++events) {
+      auto ev = dec.value()->Next();
+      if (!ev.ok()) {
+        st = ev.status();
+        break;
+      }
+      if (ev.value().type == xml::EventType::kEnd) break;
+    }
+    EXPECT_FALSE(st.ok()) << "truncation at " << cut << " undetected";
+  }
+}
+
+// --- Container parse fuzz ---------------------------------------------------
+
+TEST(FuzzTest, ContainerParserSurvivesMutations) {
+  Rng rng(6);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  Bytes payload(900, 0x77);
+  Bytes sealed = crypto::SecureContainer::Seal(key, payload, 256, &rng);
+  for (int iter = 0; iter < 300; ++iter) {
+    Bytes mutated = sealed;
+    size_t n_edits = 1 + rng.Uniform(3);
+    for (size_t e = 0; e < n_edits; ++e) {
+      mutated[rng.Uniform(mutated.size())] ^= static_cast<uint8_t>(rng.Next());
+    }
+    if (rng.Chance(0.3)) {
+      mutated.resize(rng.Uniform(mutated.size()));
+    }
+    auto container = crypto::SecureContainer::Parse(mutated);
+    if (!container.ok()) continue;
+    // Parsed containers with corrupt content must fail verification,
+    // never deliver modified plaintext.
+    auto opened = crypto::SecureContainer::OpenAll(key, mutated);
+    if (opened.ok()) {
+      EXPECT_EQ(opened.value(), payload);  // only the untouched original
+    }
+  }
+}
+
+// --- Rule set parse fuzz ----------------------------------------------------
+
+TEST(FuzzTest, RuleSetBinaryDecoderSurvivesMutations) {
+  auto set = core::RuleSet::ParseText("+ a //x\n- b //y[z=\"1\"]\n").value();
+  ByteWriter w;
+  set.EncodeTo(&w);
+  Bytes encoded = w.bytes();
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    Bytes mutated = encoded;
+    mutated[rng.Uniform(mutated.size())] ^= static_cast<uint8_t>(rng.Next());
+    if (rng.Chance(0.4)) mutated.resize(rng.Uniform(mutated.size() + 1));
+    ByteReader r(mutated);
+    auto decoded = core::RuleSet::DecodeFrom(&r);  // must not crash
+    (void)decoded;
+  }
+}
+
+// --- APDU codec fuzz --------------------------------------------------------
+
+TEST(FuzzTest, ApduDecodersSurviveMutations) {
+  soe::ApduCommand cmd;
+  cmd.ins = soe::Ins::kRunQuery;
+  cmd.data = Bytes(64, 0xAB);
+  ByteWriter w;
+  cmd.EncodeTo(&w);
+  Bytes encoded = w.bytes();
+  Rng rng(8);
+  for (int iter = 0; iter < 200; ++iter) {
+    Bytes mutated = encoded;
+    mutated[rng.Uniform(mutated.size())] ^= static_cast<uint8_t>(rng.Next());
+    if (rng.Chance(0.4)) mutated.resize(rng.Uniform(mutated.size() + 1));
+    ByteReader r(mutated);
+    auto decoded = soe::ApduCommand::DecodeFrom(&r);
+    (void)decoded;
+  }
+}
+
+// --- CTR positional independence --------------------------------------------
+
+TEST(CtrPropertyTest, ChunkStreamsAreIndependent) {
+  // Decrypting chunk i never depends on other chunks: the property the
+  // skip index relies on. Open chunks in reverse order and compare.
+  Rng rng(9);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  Bytes payload;
+  for (int i = 0; i < 2000; ++i) payload.push_back(static_cast<uint8_t>(rng.Next()));
+  Bytes sealed = crypto::SecureContainer::Seal(key, payload, 256, &rng);
+  auto container = crypto::SecureContainer::Parse(sealed).value();
+  ASSERT_TRUE(crypto::SecureContainer::VerifyRoot(key, container.header()).ok());
+  Bytes reassembled(payload.size());
+  for (int i = static_cast<int>(container.header().chunk_count) - 1; i >= 0;
+       --i) {
+    auto cipher = container.ChunkCiphertext(static_cast<uint32_t>(i)).value();
+    auto auth = container.GetChunkAuth(static_cast<uint32_t>(i)).value();
+    auto plain = crypto::SecureContainer::VerifyAndDecryptChunk(
+        key, container.header(), static_cast<uint32_t>(i), cipher, auth);
+    ASSERT_TRUE(plain.ok());
+    std::memcpy(reassembled.data() + static_cast<size_t>(i) * 256,
+                plain.value().data(), plain.value().size());
+  }
+  EXPECT_EQ(reassembled, payload);
+}
+
+TEST(CtrPropertyTest, KeystreamNeverReused) {
+  // Two documents sealed under the same key must not share keystream:
+  // XOR of ciphertexts must not equal XOR of plaintexts.
+  Rng rng(10);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  Bytes pa(256, 0x00), pb(256, 0xFF);
+  Bytes sa = crypto::SecureContainer::Seal(key, pa, 256, &rng);
+  Bytes sb = crypto::SecureContainer::Seal(key, pb, 256, &rng);
+  auto ca = crypto::SecureContainer::Parse(sa).value().ChunkCiphertext(0).value();
+  auto cb = crypto::SecureContainer::Parse(sb).value().ChunkCiphertext(0).value();
+  size_t same = 0;
+  for (size_t i = 0; i < 256; ++i) {
+    if (static_cast<uint8_t>(ca[i] ^ cb[i]) == static_cast<uint8_t>(pa[i] ^ pb[i])) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 16u);  // chance collisions only
+}
+
+}  // namespace
+}  // namespace csxa

@@ -1,0 +1,354 @@
+// SOE substrate tests: cost model arithmetic, RAM metering, APDU codec,
+// chunk source behaviour under skips and tampering, card engine sessions.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/rule.h"
+#include "core/rule_envelope.h"
+#include "crypto/container.h"
+#include "proxy/publisher.h"
+#include "skipindex/codec.h"
+#include "soe/apdu.h"
+#include "soe/card_engine.h"
+#include "soe/chunk_source.h"
+#include "soe/cost_model.h"
+#include "soe/ram_meter.h"
+#include "xml/generator.h"
+
+namespace csxa {
+namespace {
+
+using crypto::SecureContainer;
+using crypto::SymmetricKey;
+using soe::CardProfile;
+using soe::ChunkData;
+using soe::CostModel;
+
+TEST(CostModelTest, TransferTimeMatchesLinkRate) {
+  CardProfile p = CardProfile::EGate();
+  CostModel cost(p);
+  cost.AddTransfer(2048);  // exactly one second of payload at 2 KB/s
+  EXPECT_NEAR(cost.TransferSeconds(),
+              1.0 + static_cast<double>(cost.apdu_exchanges()) * p.apdu_latency_sec,
+              1e-9);
+  EXPECT_EQ(cost.apdu_exchanges(), (2048u + 254u) / 255u);
+}
+
+TEST(CostModelTest, CryptoAndEvaluatorCycles) {
+  CardProfile p = CardProfile::EGate();
+  CostModel cost(p);
+  cost.AddDecrypt(1000);
+  cost.AddHash(500);
+  cost.AddEvaluator(10, 100);
+  double cycles = 1000 * p.cycles_per_byte_decrypt + 500 * p.cycles_per_byte_hash;
+  EXPECT_NEAR(cost.CryptoSeconds(), cycles / (p.cpu_mhz * 1e6), 1e-12);
+  double ecycles = 10 * p.cycles_per_event + 100 * p.cycles_per_nfa_transition;
+  EXPECT_NEAR(cost.EvaluatorSeconds(), ecycles / (p.cpu_mhz * 1e6), 1e-12);
+  EXPECT_NEAR(cost.TotalSeconds(),
+              cost.TransferSeconds() + cost.CryptoSeconds() +
+                  cost.EvaluatorSeconds(),
+              1e-12);
+}
+
+TEST(RamMeterTest, TracksPeakAndBudget) {
+  soe::RamMeter lax(100, /*strict=*/false);
+  EXPECT_TRUE(lax.Update(50).ok());
+  EXPECT_TRUE(lax.Update(150).ok());  // over budget but not strict
+  EXPECT_TRUE(lax.Update(20).ok());
+  EXPECT_EQ(lax.peak(), 150u);
+  EXPECT_EQ(lax.current(), 20u);
+
+  soe::RamMeter strict(100, /*strict=*/true);
+  EXPECT_TRUE(strict.Update(100).ok());
+  Status st = strict.Update(101);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ApduTest, CommandCodecRoundTrip) {
+  soe::ApduCommand cmd;
+  cmd.ins = soe::Ins::kPutRules;
+  cmd.p1 = 3;
+  cmd.data = Bytes{1, 2, 3, 4, 5};
+  ByteWriter w;
+  cmd.EncodeTo(&w);
+  ByteReader r(w.bytes());
+  auto back = soe::ApduCommand::DecodeFrom(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().ins, soe::Ins::kPutRules);
+  EXPECT_EQ(back.value().p1, 3);
+  EXPECT_EQ(back.value().data, cmd.data);
+}
+
+TEST(ApduTest, ResponseCodecRoundTrip) {
+  soe::ApduResponse resp;
+  resp.data = Bytes{9, 8, 7};
+  resp.sw = soe::kSwMoreData;
+  ByteWriter w;
+  resp.EncodeTo(&w);
+  ByteReader r(w.bytes());
+  auto back = soe::ApduResponse::DecodeFrom(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().sw, soe::kSwMoreData);
+  EXPECT_TRUE(back.value().ok());
+}
+
+// In-memory provider over a parsed container, with optional tampering.
+class TestProvider : public soe::ChunkProvider {
+ public:
+  explicit TestProvider(const SecureContainer* c) : container_(c) {}
+  Result<ChunkData> GetChunk(uint32_t index) override {
+    ChunkData chunk;
+    CSXA_ASSIGN_OR_RETURN(Span cipher, container_->ChunkCiphertext(index));
+    chunk.ciphertext = cipher.ToBytes();
+    CSXA_ASSIGN_OR_RETURN(chunk.auth, container_->GetChunkAuth(index));
+    if (index == tamper_index_) chunk.ciphertext[0] ^= 0xFF;
+    if (index == swap_with_ok_proof_) {
+      // Substitute another chunk's ciphertext, keep this index's auth.
+      auto other = container_->ChunkCiphertext(0);
+      if (other.ok()) chunk.ciphertext = other.value().ToBytes();
+    }
+    ++fetches_;
+    return chunk;
+  }
+  uint64_t TotalWireBytes() const override {
+    uint64_t total = crypto::ContainerHeader::kWireSize;
+    for (uint32_t i = 0; i < container_->header().chunk_count; ++i) {
+      auto cipher = container_->ChunkCiphertext(i);
+      auto auth = container_->GetChunkAuth(i);
+      if (cipher.ok() && auth.ok()) {
+        total += cipher.value().size() +
+                 auth.value().WireBytes(container_->header().integrity);
+      }
+    }
+    return total;
+  }
+  uint32_t tamper_index_ = UINT32_MAX;
+  uint32_t swap_with_ok_proof_ = UINT32_MAX;
+  size_t fetches_ = 0;
+
+ private:
+  const SecureContainer* container_;
+};
+
+struct SealedDoc {
+  SymmetricKey key;
+  Bytes container_bytes;
+  SecureContainer container;
+  crypto::ContainerHeader header;
+};
+
+SealedDoc MakeSealed(size_t payload_size, size_t chunk_size, uint64_t seed) {
+  Rng rng(seed);
+  SealedDoc doc;
+  doc.key = SymmetricKey::Generate(&rng);
+  Bytes payload;
+  payload.reserve(payload_size);
+  for (size_t i = 0; i < payload_size; ++i) {
+    payload.push_back(static_cast<uint8_t>(rng.Next()));
+  }
+  doc.container_bytes =
+      SecureContainer::Seal(doc.key, payload, chunk_size, &rng);
+  doc.container = SecureContainer::Parse(doc.container_bytes).value();
+  doc.header = doc.container.header();
+  return doc;
+}
+
+TEST(ChunkSourceTest, SequentialReadMatchesPayload) {
+  SealedDoc doc = MakeSealed(3000, 512, 21);
+  TestProvider provider(&doc.container);
+  CostModel cost(CardProfile::EGate());
+  soe::ChunkSource src(doc.key, doc.header, &provider, &cost);
+  Bytes read(3000);
+  ASSERT_TRUE(src.ReadExact(read.data(), read.size()).ok());
+  EXPECT_TRUE(src.AtEnd());
+  auto full = SecureContainer::OpenAll(doc.key, doc.container_bytes).value();
+  EXPECT_EQ(read, full);
+  EXPECT_EQ(src.chunks_fetched(), doc.header.chunk_count);
+  EXPECT_GT(cost.bytes_decrypted(), 0u);
+}
+
+TEST(ChunkSourceTest, SkipAvoidsFetchingChunks) {
+  SealedDoc doc = MakeSealed(512 * 10, 512, 22);
+  TestProvider provider(&doc.container);
+  CostModel cost(CardProfile::EGate());
+  soe::ChunkSource src(doc.key, doc.header, &provider, &cost);
+  uint8_t buf[16];
+  ASSERT_TRUE(src.ReadExact(buf, 16).ok());       // chunk 0
+  ASSERT_TRUE(src.Skip(512 * 7).ok());            // land in chunk 7
+  ASSERT_TRUE(src.ReadExact(buf, 16).ok());
+  EXPECT_LE(provider.fetches_, 3u);
+  EXPECT_GE(src.chunks_avoided(), 6u);
+}
+
+TEST(ChunkSourceTest, TamperedChunkRejected) {
+  SealedDoc doc = MakeSealed(2048, 512, 23);
+  TestProvider provider(&doc.container);
+  provider.tamper_index_ = 2;
+  CostModel cost(CardProfile::EGate());
+  soe::ChunkSource src(doc.key, doc.header, &provider, &cost);
+  Bytes read(2048);
+  Status st = src.ReadExact(read.data(), read.size());
+  EXPECT_EQ(st.code(), StatusCode::kIntegrityError);
+}
+
+TEST(ChunkSourceTest, SubstitutedChunkRejected) {
+  SealedDoc doc = MakeSealed(2048, 512, 24);
+  TestProvider provider(&doc.container);
+  provider.swap_with_ok_proof_ = 3;
+  CostModel cost(CardProfile::EGate());
+  soe::ChunkSource src(doc.key, doc.header, &provider, &cost);
+  Bytes read(2048);
+  EXPECT_EQ(read.size(), 2048u);
+  Status st = src.ReadExact(read.data(), read.size());
+  EXPECT_EQ(st.code(), StatusCode::kIntegrityError);
+}
+
+TEST(ChunkSourceTest, ReadPastEndFails) {
+  SealedDoc doc = MakeSealed(100, 64, 25);
+  TestProvider provider(&doc.container);
+  soe::ChunkSource src(doc.key, doc.header, &provider, nullptr);
+  Bytes read(101);
+  EXPECT_FALSE(src.ReadExact(read.data(), read.size()).ok());
+}
+
+// --- Card engine sessions -------------------------------------------------
+
+struct EngineFixture {
+  Rng rng{77};
+  SymmetricKey key;
+  Bytes header_bytes;
+  Bytes sealed_rules;
+  Bytes container_bytes;
+  std::unique_ptr<SecureContainer> container;
+  std::unique_ptr<TestProvider> provider;
+
+  explicit EngineFixture(const std::string& rules_text,
+                         size_t doc_elements = 400, size_t chunk_size = 512) {
+    key = SymmetricKey::Generate(&rng);
+    xml::GeneratorParams gp;
+    gp.profile = xml::DocProfile::kHospital;
+    gp.target_elements = doc_elements;
+    gp.seed = 100;
+    auto doc = xml::GenerateDocument(gp);
+    auto encoded = skipindex::EncodeDocument(doc, {}).value();
+    container_bytes = SecureContainer::Seal(key, encoded, chunk_size, &rng);
+    container = std::make_unique<SecureContainer>(
+        SecureContainer::Parse(container_bytes).value());
+    ByteWriter hw;
+    container->header().EncodeTo(&hw);
+    header_bytes = hw.Take();
+    auto rules = core::RuleSet::ParseText(rules_text).value();
+    sealed_rules = core::SealRuleSet(key, rules, /*version=*/1, &rng);
+    provider = std::make_unique<TestProvider>(container.get());
+  }
+};
+
+TEST(CardEngineTest, SessionDeliversAuthorizedView) {
+  EngineFixture fx("+ doctor //patient\n- doctor //admin/billing\n");
+  soe::CardEngine card(CardProfile::EGate());
+  card.InstallKey("doc", fx.key);
+  soe::SessionOptions opts;
+  opts.subject = "doctor";
+  auto out = card.RunSession("doc", fx.header_bytes, fx.sealed_rules,
+                             fx.provider.get(), opts);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out.value().view_xml.find("<patient"), std::string::npos);
+  EXPECT_EQ(out.value().view_xml.find("<amount>"), std::string::npos);
+  EXPECT_GT(out.value().stats.total_seconds, 0.0);
+  EXPECT_GT(out.value().stats.evaluator.events, 0u);
+}
+
+TEST(CardEngineTest, MissingKeyFails) {
+  EngineFixture fx("+ u //patient\n");
+  soe::CardEngine card(CardProfile::EGate());
+  soe::SessionOptions opts;
+  opts.subject = "u";
+  auto out = card.RunSession("doc", fx.header_bytes, fx.sealed_rules,
+                             fx.provider.get(), opts);
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CardEngineTest, TamperedRulesRejected) {
+  EngineFixture fx("+ u //patient\n");
+  fx.sealed_rules[20] ^= 0x01;
+  soe::CardEngine card(CardProfile::EGate());
+  card.InstallKey("doc", fx.key);
+  soe::SessionOptions opts;
+  opts.subject = "u";
+  auto out = card.RunSession("doc", fx.header_bytes, fx.sealed_rules,
+                             fx.provider.get(), opts);
+  EXPECT_EQ(out.status().code(), StatusCode::kIntegrityError);
+}
+
+TEST(CardEngineTest, SkipReducesDecryption) {
+  // Small chunks so skipped subtrees clear whole chunks (the paper's card
+  // fetched small APDU-sized units anyway).
+  EngineFixture fx("+ accountant //patient/admin\n", 2000, 128);
+  soe::CardEngine card(CardProfile::EGate());
+  card.InstallKey("doc", fx.key);
+
+  soe::SessionOptions with_skip;
+  with_skip.subject = "accountant";
+  auto a = card.RunSession("doc", fx.header_bytes, fx.sealed_rules,
+                           fx.provider.get(), with_skip);
+  ASSERT_TRUE(a.ok());
+
+  soe::SessionOptions no_skip = with_skip;
+  no_skip.use_skip = false;
+  auto b = card.RunSession("doc", fx.header_bytes, fx.sealed_rules,
+                           fx.provider.get(), no_skip);
+  ASSERT_TRUE(b.ok());
+
+  EXPECT_EQ(a.value().view_xml, b.value().view_xml);
+  EXPECT_LT(a.value().stats.bytes_decrypted, b.value().stats.bytes_decrypted);
+  EXPECT_LT(a.value().stats.total_seconds, b.value().stats.total_seconds);
+  EXPECT_GT(a.value().stats.skips, 0u);
+}
+
+TEST(CardEngineTest, PushModeChargesFullBroadcast) {
+  EngineFixture fx("+ u //patient/admin\n", 600, 128);
+  soe::CardEngine card(CardProfile::EGate());
+  card.InstallKey("doc", fx.key);
+  soe::SessionOptions opts;
+  opts.subject = "u";
+  opts.push_mode = true;
+  auto out = card.RunSession("doc", fx.header_bytes, fx.sealed_rules,
+                             fx.provider.get(), opts);
+  ASSERT_TRUE(out.ok());
+  // Transfer must be at least the broadcast (payload) size even though
+  // many chunks were never decrypted.
+  EXPECT_GE(out.value().stats.bytes_transferred,
+            fx.container->header().payload_size);
+  EXPECT_GT(out.value().stats.chunks_avoided, 0u);
+}
+
+TEST(CardEngineTest, StrictRamViolationSurfaces) {
+  EngineFixture fx("+ u //patient\n", 800);
+  CardProfile tiny = CardProfile::EGate();
+  tiny.ram_budget = 64;  // absurdly small: must trip
+  soe::CardEngine card(tiny);
+  card.InstallKey("doc", fx.key);
+  soe::SessionOptions opts;
+  opts.subject = "u";
+  opts.strict_ram = true;
+  auto out = card.RunSession("doc", fx.header_bytes, fx.sealed_rules,
+                             fx.provider.get(), opts);
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CardEngineTest, RamPeakReported) {
+  EngineFixture fx("+ u //patient\n", 300);
+  soe::CardEngine card(CardProfile::EGate());
+  card.InstallKey("doc", fx.key);
+  soe::SessionOptions opts;
+  opts.subject = "u";
+  auto out = card.RunSession("doc", fx.header_bytes, fx.sealed_rules,
+                             fx.provider.get(), opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out.value().stats.ram_peak, 0u);
+  EXPECT_EQ(out.value().stats.ram_budget, CardProfile::EGate().ram_budget);
+}
+
+}  // namespace
+}  // namespace csxa
