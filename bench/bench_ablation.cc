@@ -27,7 +27,7 @@ void AblationPending() {
     for (uint64_t seed = 0; seed < 8; ++seed) {
       xml::GeneratorParams gp;
       gp.profile = xml::DocProfile::kRandom;
-      gp.target_elements = 500;
+      gp.target_elements = Smoke(500);
       gp.seed = 900 + seed;
       auto doc = xml::GenerateDocument(gp);
       Rng rng(1000 + seed);
@@ -75,7 +75,7 @@ void AblationTagSets() {
   };
   xml::GeneratorParams gp;
   gp.profile = xml::DocProfile::kHospital;
-  gp.target_elements = 3000;
+  gp.target_elements = Smoke(3000);
   gp.seed = 31;
   gp.text_avg_len = 48;
   auto doc = xml::GenerateDocument(gp);

@@ -45,7 +45,7 @@ int main() {
   // Server baseline holds the same plaintext document.
   xml::GeneratorParams gp;
   gp.profile = xml::DocProfile::kHospital;
-  gp.target_elements = 3000;
+  gp.target_elements = Smoke(3000);
   gp.seed = 777;
   gp.text_avg_len = 48;
   baseline::TrustedServerBaseline server;

@@ -17,7 +17,7 @@ namespace {
 xml::DomDocument FeedItem(size_t elements, uint64_t seed) {
   xml::GeneratorParams gp;
   gp.profile = xml::DocProfile::kNewsFeed;
-  gp.target_elements = elements;
+  gp.target_elements = Smoke(elements);
   gp.seed = seed;
   gp.text_avg_len = 48;
   return xml::GenerateDocument(gp);
@@ -102,6 +102,7 @@ int main() {
   std::printf("\n--- subscriber scaling (400-element item, e-gate) ---\n");
   Table t3({"subscribers", "total card-seconds", "slowest s"});
   for (size_t n : {1u, 4u, 16u, 64u}) {
+    n = Smoke(n, /*cap=*/4);
     dissem::ChannelOptions opt;
     opt.chunk_size = 256;
     dissem::Channel channel("feed", kRules, opt, 1618);

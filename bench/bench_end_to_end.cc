@@ -73,7 +73,7 @@ int main() {
       auto key = crypto::SymmetricKey::Generate(&rng);
       xml::GeneratorParams gp;
       gp.profile = xml::DocProfile::kHospital;
-      gp.target_elements = 4000;
+      gp.target_elements = Smoke(4000);
       gp.seed = 558;
       gp.text_avg_len = 48;
       auto doc = xml::GenerateDocument(gp);

@@ -25,7 +25,7 @@ int main() {
     for (size_t elems : sizes) {
       xml::GeneratorParams gp;
       gp.profile = profile;
-      gp.target_elements = elems;
+      gp.target_elements = Smoke(elems);
       gp.seed = 99;
       auto doc = xml::GenerateDocument(gp);
 
@@ -57,7 +57,7 @@ int main() {
   for (size_t vocab : {4u, 8u, 16u, 32u, 64u}) {
     xml::GeneratorParams gp;
     gp.profile = xml::DocProfile::kRandom;
-    gp.target_elements = 2000;
+    gp.target_elements = Smoke(2000);
     gp.vocabulary = vocab;
     gp.seed = 7;
     auto doc = xml::GenerateDocument(gp);

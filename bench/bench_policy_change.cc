@@ -55,7 +55,7 @@ int main() {
   for (size_t elems : {500u, 2000u, 8000u}) {
     xml::GeneratorParams gp;
     gp.profile = xml::DocProfile::kHospital;
-    gp.target_elements = elems;
+    gp.target_elements = Smoke(elems);
     gp.seed = 4242;
     auto doc = xml::GenerateDocument(gp);
     std::printf("--- hospital document, %zu elements ---\n",
@@ -103,7 +103,7 @@ int main() {
   for (size_t elems : {2000u}) {
     xml::GeneratorParams gp;
     gp.profile = xml::DocProfile::kHospital;
-    gp.target_elements = elems;
+    gp.target_elements = Smoke(elems);
     gp.seed = 4242;
     auto doc = xml::GenerateDocument(gp);
     Rng rng(3);

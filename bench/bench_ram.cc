@@ -17,7 +17,7 @@ size_t PeakForRandomDoc(int depth, size_t num_rules, double pred_prob,
                         size_t chunk, uint64_t seed) {
   xml::GeneratorParams gp;
   gp.profile = xml::DocProfile::kRandom;
-  gp.target_elements = 600;
+  gp.target_elements = Smoke(600);
   gp.max_depth = depth;
   gp.seed = seed;
   auto doc = xml::GenerateDocument(gp);

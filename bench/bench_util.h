@@ -8,6 +8,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +25,23 @@
 #include "xpath/parser.h"
 
 namespace csxa::bench {
+
+/// True when CSXA_BENCH_SMOKE is set (the ctest `bench-smoke` entries set
+/// it): every bench shrinks its workload to a tiny size so the perf code
+/// keeps running — not just compiling — on every CI pass.
+inline bool SmokeMode() {
+  static const bool on = [] {
+    const char* v = std::getenv("CSXA_BENCH_SMOKE");
+    return v != nullptr && *v != '\0' && *v != '0';
+  }();
+  return on;
+}
+
+/// Caps a workload dimension (element count, fan-out, repeat count) in
+/// smoke mode; returns it unchanged in a full run.
+inline size_t Smoke(size_t n, size_t cap = 200) {
+  return SmokeMode() && n > cap ? cap : n;
+}
 
 /// A sealed document ready for card sessions, with an in-memory provider.
 struct Fixture {
@@ -72,6 +90,7 @@ inline Fixture MakeFixture(xml::DocProfile profile, size_t elements,
                            size_t chunk_size = 512, bool with_index = true,
                            bool recursive = true, size_t text_avg = 24) {
   Fixture fx;
+  elements = Smoke(elements);
   Rng rng(seed);
   fx.key = crypto::SymmetricKey::Generate(&rng);
   xml::GeneratorParams gp;

@@ -1,0 +1,22 @@
+# Locates GoogleTest: prefers the system package (baked into the CI
+# image, so offline builds work), falls back to FetchContent for
+# environments with network but no package. Defines GTest::gtest and
+# GTest::gtest_main either way.
+find_package(GTest QUIET)
+if(NOT GTest_FOUND)
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+  )
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  # Recent googletest releases define the GTest:: aliases themselves;
+  # only add them for older tags that don't.
+  if(NOT TARGET GTest::gtest)
+    add_library(GTest::gtest ALIAS gtest)
+  endif()
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary at full workload and saves the output under
+# bench-out/ (one .txt per bench). This is the manual precursor to the
+# BENCH_*.json tracking planned on the ROADMAP; `ctest -L bench-smoke`
+# covers the fast keep-it-running check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+# A stray smoke variable would silently record tiny-workload numbers as
+# full-run baselines.
+unset CSXA_BENCH_SMOKE
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench not found — run scripts/ci.sh first" >&2
+  exit 1
+fi
+
+mkdir -p bench-out
+for bin in "$build_dir"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "== $name"
+  "$bin" | tee "bench-out/$name.txt"
+done
+echo "wrote bench-out/*.txt"

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verify: the exact line ROADMAP.md specifies. Run locally before
+# pushing, or as the CI entrypoint. Exits non-zero on any configure,
+# build, or test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j "$(nproc)"
