@@ -95,10 +95,10 @@ void AblationTagSets() {
       if (event.type == xml::EventType::kEnd) break;
       if (event.type == xml::EventType::kOpen &&
           dec->last_content_size() > 0) {
-        auto real_tags = [&](const std::string& t) {
+        auto real_tags = [&](std::string_view t) {
           return dec->SubtreeHasTag(t);
         };
-        auto any_tag = [](const std::string&) { return true; };
+        auto any_tag = [](std::string_view) { return true; };
         bool can =
             use_tag_sets
                 ? ev->CanSkipCurrentSubtree(real_tags, dec->last_has_elements(),

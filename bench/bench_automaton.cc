@@ -23,6 +23,9 @@ using namespace csxa;
 struct Workload {
   std::vector<xml::Event> events;
   core::RuleSet rules;
+  // Document tag dictionary; events carry its ids and each evaluator
+  // binds it, exercising the interned dispatch path the SOE uses.
+  Interner tags;
 };
 
 Workload MakeWorkload(size_t doc_elements, size_t num_rules,
@@ -36,7 +39,7 @@ Workload MakeWorkload(size_t doc_elements, size_t num_rules,
   gp.vocabulary = 10;
   auto doc = xml::GenerateDocument(gp);
   xml::EventRecorder recorder;
-  CSXA_CHECK(doc.root()->EmitEvents(&recorder).ok());
+  CSXA_CHECK(doc.root()->EmitEvents(&recorder, &w.tags).ok());
   w.events = recorder.Take();
   Rng rng(seed * 3 + 1);
   workload::RuleGenParams rp;
@@ -61,6 +64,7 @@ void RunEvaluator(benchmark::State& state, const Workload& w) {
     auto ev = core::StreamingEvaluator::Create(w.rules.ForSubject("u"),
                                                nullptr, &sink);
     CSXA_CHECK(ev.ok());
+    ev.value()->BindDocumentTags(w.tags);
     for (const xml::Event& e : w.events) {
       Status st = ev.value()->OnEvent(e);
       CSXA_CHECK(st.ok());
@@ -103,9 +107,9 @@ void BM_DocumentDepth(benchmark::State& state) {
   gp.max_depth = static_cast<int>(state.range(0));
   gp.seed = 45;
   auto doc = xml::GenerateDocument(gp);
-  xml::EventRecorder recorder;
-  CSXA_CHECK(doc.root()->EmitEvents(&recorder).ok());
   Workload w;
+  xml::EventRecorder recorder;
+  CSXA_CHECK(doc.root()->EmitEvents(&recorder, &w.tags).ok());
   w.events = recorder.Take();
   Rng rng(46);
   workload::RuleGenParams rp;
@@ -122,9 +126,9 @@ void BM_RealisticScenario(benchmark::State& state) {
   gp.target_elements = 2000;
   gp.seed = 47;
   auto doc = xml::GenerateDocument(gp);
-  xml::EventRecorder recorder;
-  CSXA_CHECK(doc.root()->EmitEvents(&recorder).ok());
   Workload w;
+  xml::EventRecorder recorder;
+  CSXA_CHECK(doc.root()->EmitEvents(&recorder, &w.tags).ok());
   w.events = recorder.Take();
   w.rules = core::RuleSet::ParseText(
                 "+ emergency //patient[medical/diagnosis/severity=\"acute\"]\n"

@@ -32,6 +32,12 @@ int main() {
                  Fmt("%.3f", out.stats.evaluator_seconds),
                  Fmt("%.2f", out.stats.total_seconds),
                  Fmt("%llu", (unsigned long long)out.stats.apdu_exchanges)});
+      double secs = out.stats.total_seconds;
+      JsonReport::Get().Add(
+          Fmt("pull_latency/%zu/%s", elems, profile.name.c_str()),
+          secs * 1e9,
+          secs > 0 ? static_cast<double>(out.stats.evaluator.events) / secs : 0,
+          secs > 0 ? static_cast<double>(fx.container_bytes.size()) / secs : 0);
     }
   }
   t1.Print();
@@ -55,6 +61,11 @@ int main() {
                                         out.stats.chunks_avoided)),
                Fmt("%zu", out.stats.skips),
                Fmt("%.2f", out.stats.total_seconds)});
+    double secs = out.stats.total_seconds;
+    JsonReport::Get().Add(
+        Fmt("chunk_sweep/%zu", chunk), secs * 1e9,
+        secs > 0 ? static_cast<double>(out.stats.evaluator.events) / secs : 0,
+        secs > 0 ? static_cast<double>(out.stats.bytes_transferred) / secs : 0);
   }
   t2.Print();
   std::printf("\nexpected shape: with constant-size chunk MACs, finer "

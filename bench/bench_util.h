@@ -43,6 +43,73 @@ inline size_t Smoke(size_t n, size_t cap = 200) {
   return SmokeMode() && n > cap ? cap : n;
 }
 
+/// \brief Machine-readable benchmark tracking (the BENCH_*.json files).
+///
+/// When the CSXA_BENCH_JSON environment variable names a file, every
+/// Add() call records one entry and the report is written on process exit
+/// as a flat JSON object:
+///
+///   { "<name>": {"time_ns": ..., "events_per_s": ..., "bytes_per_s": ...},
+///     ... }
+///
+/// scripts/bench.sh sets the variable per bench binary; the table output
+/// on stdout stays the human-readable form of the same runs. Without the
+/// variable, Add() is a no-op — benches never write files on their own.
+class JsonReport {
+ public:
+  static JsonReport& Get() {
+    static JsonReport* r = new JsonReport();  // intentionally leaked
+    return *r;
+  }
+
+  void Add(const std::string& name, double time_ns, double events_per_s = 0.0,
+           double bytes_per_s = 0.0) {
+    if (path_.empty()) return;
+    entries_.push_back(Entry{name, time_ns, events_per_s, bytes_per_s});
+  }
+
+  /// Writes the report (atexit hook; safe to call when disabled or empty).
+  void Write() {
+    if (path_.empty() || entries_.empty() || written_) return;
+    written_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "  \"%s\": {\"time_ns\": %.6g, \"events_per_s\": %.6g, "
+                   "\"bytes_per_s\": %.6g}%s\n",
+                   e.name.c_str(), e.time_ns, e.events_per_s, e.bytes_per_s,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+
+ private:
+  JsonReport() {
+    const char* p = std::getenv("CSXA_BENCH_JSON");
+    if (p != nullptr && *p != '\0') {
+      path_ = p;
+      std::atexit([] { JsonReport::Get().Write(); });
+    }
+  }
+
+  struct Entry {
+    std::string name;
+    double time_ns;
+    double events_per_s;
+    double bytes_per_s;
+  };
+  std::string path_;
+  std::vector<Entry> entries_;
+  bool written_ = false;
+};
+
 /// A sealed document ready for card sessions, with an in-memory provider.
 struct Fixture {
   crypto::SymmetricKey key;

@@ -1,0 +1,34 @@
+# Locates Google Benchmark: prefers the system package (baked into the CI
+# image, so offline builds work), falls back to FetchContent for
+# environments with network but no package. Defines benchmark::benchmark
+# either way; sets CSXA_HAVE_BENCHMARK for the callers.
+#
+# Environments with neither the package nor network can configure with
+# -DCSXA_FETCH_BENCHMARK=OFF to skip the two Google Benchmark binaries
+# instead of failing the download.
+option(CSXA_FETCH_BENCHMARK
+       "FetchContent Google Benchmark when no system package is found" ON)
+
+find_package(benchmark QUIET)
+if(benchmark_FOUND)
+  set(CSXA_HAVE_BENCHMARK TRUE)
+elseif(CSXA_FETCH_BENCHMARK)
+  include(FetchContent)
+  set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_GTEST_TESTS OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_WERROR OFF CACHE BOOL "" FORCE)
+  FetchContent_Declare(
+    googlebenchmark
+    URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.zip
+  )
+  FetchContent_MakeAvailable(googlebenchmark)
+  # The FetchContent build exports plain `benchmark`; alias to the package
+  # namespace the benches link against.
+  if(NOT TARGET benchmark::benchmark)
+    add_library(benchmark::benchmark ALIAS benchmark)
+  endif()
+  set(CSXA_HAVE_BENCHMARK TRUE)
+else()
+  set(CSXA_HAVE_BENCHMARK FALSE)
+endif()

@@ -1,24 +1,24 @@
-#include "skipindex/tag_dictionary.h"
+#include "common/interner.h"
 
 #include "common/varint.h"
 
-namespace csxa::skipindex {
+namespace csxa {
 
-uint32_t TagDictionary::Intern(const std::string& name) {
+TagId Interner::Intern(std::string_view name) {
   auto it = index_.find(name);
   if (it != index_.end()) return it->second;
-  uint32_t id = static_cast<uint32_t>(names_.size());
-  names_.push_back(name);
-  index_.emplace(name, id);
+  TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
   return id;
 }
 
-uint32_t TagDictionary::Lookup(const std::string& name) const {
+TagId Interner::Lookup(std::string_view name) const {
   auto it = index_.find(name);
-  return it == index_.end() ? kNoId : it->second;
+  return it == index_.end() ? kNoTagId : it->second;
 }
 
-void TagDictionary::EncodeTo(ByteWriter* out) const {
+void Interner::EncodeTo(ByteWriter* out) const {
   PutVarint(out, names_.size());
   for (const std::string& n : names_) {
     PutVarint(out, n.size());
@@ -26,12 +26,12 @@ void TagDictionary::EncodeTo(ByteWriter* out) const {
   }
 }
 
-Result<TagDictionary> TagDictionary::DecodeFrom(ByteReader* in) {
+Result<Interner> Interner::DecodeFrom(ByteReader* in) {
   uint64_t count;
   if (!GetVarint(in, &count) || count > 1u << 20) {
     return Status::ParseError("tag dictionary truncated or oversized");
   }
-  TagDictionary dict;
+  Interner dict;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t len;
     Span bytes;
@@ -43,10 +43,10 @@ Result<TagDictionary> TagDictionary::DecodeFrom(ByteReader* in) {
   return dict;
 }
 
-size_t TagDictionary::ModeledBytes() const {
+size_t Interner::ModeledBytes() const {
   size_t n = 0;
   for (const std::string& s : names_) n += 2 + s.size();
   return n;
 }
 
-}  // namespace csxa::skipindex
+}  // namespace csxa

@@ -60,7 +60,7 @@ Result<CompiledRule> CompileExpr(const xpath::PathExpr& expr, bool positive) {
 }
 
 bool CanReachFinal(const CompiledPath& path, const std::vector<int>& active,
-                   const std::function<bool(const std::string&)>& has_tag,
+                   const std::function<bool(std::string_view)>& has_tag,
                    bool subtree_nonempty) {
   if (!subtree_nonempty) return false;
   // BFS over states; an edge from state s to s+1 is traversable if its

@@ -12,8 +12,10 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 #include "xpath/ast.h"
 
@@ -34,6 +36,10 @@ struct CompiledPath {
     /// final state).
     bool wildcard = false;
     std::string tag;
+    /// Interned form of `tag` in the owning evaluator's rule alphabet
+    /// (stamped by StreamingEvaluator::Create; kNoTagId until then).
+    /// Matching falls back to the string when either side lacks an id.
+    TagId tag_id = kNoTagId;
     /// Predicate automata (indices into CompiledRule::predicates)
     /// instantiated when a token *enters* this state. Empty for predicate
     /// paths themselves — the fragment forbids nested predicates.
@@ -83,7 +89,7 @@ Result<CompiledPath> CompileRelative(const xpath::RelativePath& path,
 /// predicate run, the subtree cannot change any delivery decision and may
 /// be skipped.
 bool CanReachFinal(const CompiledPath& path, const std::vector<int>& active,
-                   const std::function<bool(const std::string&)>& has_tag,
+                   const std::function<bool(std::string_view)>& has_tag,
                    bool subtree_nonempty);
 
 }  // namespace csxa::core

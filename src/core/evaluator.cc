@@ -9,12 +9,18 @@ namespace csxa::core {
 using xml::Event;
 using xml::EventType;
 
+namespace {
+
+// Cap on recycled level vectors / snapshots / pipeline slots; beyond this
+// the pools stop growing and retired storage is simply freed.
+constexpr size_t kMaxPooled = 64;
+
+}  // namespace
+
 size_t StreamingEvaluator::Snapshot::ModeledBytes() const {
   size_t n = 0;
-  for (const auto& rule_cands : auth) {
-    for (const Candidate& c : rule_cands) n += 3 + c.deps.size();
-  }
-  for (const Candidate& c : query) n += 3 + c.deps.size();
+  for (const SnapCand& c : auth) n += 3 + (c.deps_end - c.deps_begin);
+  for (const SnapCand& c : query) n += 3 + (c.deps_end - c.deps_begin);
   return n;
 }
 
@@ -32,47 +38,164 @@ Result<std::unique_ptr<StreamingEvaluator>> StreamingEvaluator::Create(
     CSXA_ASSIGN_OR_RETURN(CompiledRule cq, CompileExpr(*query, true));
     ev->compiled_query_ = std::make_unique<CompiledRule>(std::move(cq));
   }
-  // Wire the runs after all compilations (stable pointers).
+
+  // Intern the rule alphabet: every tag named by a navigational or
+  // predicate state, across rules and query.
+  auto intern_path = [&ev](CompiledPath* path) {
+    for (CompiledPath::State& st : path->states) {
+      if (!st.wildcard && !st.tag.empty()) {
+        st.tag_id = ev->rule_tags_.Intern(st.tag);
+      }
+    }
+  };
   for (CompiledRule& cr : ev->compiled_rules_) {
+    intern_path(&cr.nav);
+    for (CompiledPath& p : cr.predicates) intern_path(&p);
+  }
+  if (ev->compiled_query_) {
+    intern_path(&ev->compiled_query_->nav);
+    for (CompiledPath& p : ev->compiled_query_->predicates) intern_path(&p);
+  }
+
+  // Build the combined transition index: per slot the static self-loop /
+  // wildcard masks, plus a dense (TagId × slot) table of literal-edge
+  // state masks. Slot = rule index; the query takes the last slot.
+  ev->num_slots_ =
+      ev->compiled_rules_.size() + (ev->compiled_query_ ? 1 : 0);
+  ev->rule_static_.resize(ev->num_slots_);
+  ev->edge_masks_.assign(ev->rule_tags_.size() * ev->num_slots_, 0);
+  auto index_slot = [&ev](size_t slot, const CompiledPath& nav) {
+    RuleStatic& rs = ev->rule_static_[slot];
+    if (nav.states.size() > 64) {
+      rs.oversize = true;
+      return;
+    }
+    for (size_t s = 0; s + 1 < nav.states.size(); ++s) {
+      const CompiledPath::State& st = nav.states[s];
+      uint64_t bit = uint64_t{1} << s;
+      if (st.self_loop) rs.self_loop_mask |= bit;
+      if (st.wildcard) {
+        rs.wildcard_edge_mask |= bit;
+      } else if (st.tag_id != kNoTagId) {
+        ev->edge_masks_[st.tag_id * ev->num_slots_ + slot] |= bit;
+      }
+    }
+    // A self-loop on the final state would keep tokens alive; final states
+    // never carry one (chain compilation), but account for safety.
+    if (nav.states.back().self_loop && nav.states.size() <= 64) {
+      rs.self_loop_mask |= uint64_t{1} << (nav.states.size() - 1);
+    }
+  };
+
+  // Wire the runs after all compilations (stable pointers).
+  auto init_run = [](NavRun* run, const CompiledRule* rule) {
+    run->rule = rule;
+    run->positive = rule->positive;
+    run->tokens.push_back({Token{0, {}}});
+    run->cands.push_back({});
+    run->live_masks.push_back(1);
+    run->level_token_units.push_back(2);  // one token, no deps
+    run->level_cand_units.push_back(0);
+    run->level_repeats.push_back(0);
+  };
+  for (size_t i = 0; i < ev->compiled_rules_.size(); ++i) {
+    CompiledRule& cr = ev->compiled_rules_[i];
     NavRun run;
-    run.rule = &cr;
-    run.positive = cr.positive;
-    run.tokens.push_back({Token{0, {}}});
-    run.cands.push_back({});
+    init_run(&run, &cr);
     ev->runs_.push_back(std::move(run));
+    index_slot(i, cr.nav);
+    ev->run_modeled_units_ += 2;
   }
   if (ev->compiled_query_) {
     auto qr = std::make_unique<NavRun>();
-    qr->rule = ev->compiled_query_.get();
-    qr->positive = true;
-    qr->tokens.push_back({Token{0, {}}});
-    qr->cands.push_back({});
+    init_run(qr.get(), ev->compiled_query_.get());
     ev->query_run_ = std::move(qr);
+    index_slot(ev->num_slots_ - 1, ev->compiled_query_->nav);
+    ev->run_modeled_units_ += 2;
   }
   return ev;
 }
 
-void StreamingEvaluator::AdvanceNav(NavRun* run, const std::string& tag) {
+void StreamingEvaluator::BindDocumentTags(const Interner& doc_tags) {
+  doc_to_rule_.resize(doc_tags.size());
+  for (TagId i = 0; i < doc_tags.size(); ++i) {
+    doc_to_rule_[i] = rule_tags_.Lookup(doc_tags.Name(i));
+  }
+}
+
+TagId StreamingEvaluator::ResolveTag(const xml::Event& event) const {
+  if (event.tag_id != kNoTagId && event.tag_id < doc_to_rule_.size()) {
+    return doc_to_rule_[event.tag_id];
+  }
+  return rule_tags_.Lookup(event.name);
+}
+
+void StreamingEvaluator::AdvanceNav(NavRun* run, size_t slot, TagId tag) {
+  if (run->dormant > 0) {
+    // Empty stays empty deeper down; O(1) until the depth closes.
+    ++run->dormant;
+    return;
+  }
   const CompiledPath& nav = run->rule->nav;
   const std::vector<Token>& top = run->tokens.back();
+  const RuleStatic& rs = rule_static_[slot];
+  if (!rs.oversize) {
+    uint64_t live = run->live_masks.back();
+    uint64_t advancing =
+        live & (rs.wildcard_edge_mask | EdgeMask(slot, tag));
+    if (advancing == 0) {
+      uint64_t kept = live & rs.self_loop_mask;
+      if (kept == 0) {
+        // No live transition on this tag: the next level is provably empty.
+        stats_.nfa_transitions += top.size();
+        ++run->dormant;
+        return;
+      }
+      if (kept == live) {
+        // Every token survives via its self-loop and nothing advances:
+        // the next level is identical to the top one — just note a repeat.
+        stats_.nfa_transitions += top.size();
+        run_modeled_units_ += run->level_token_units.back();
+        ++run->level_repeats.back();
+        return;
+      }
+      // Partial survival: fall through to the token loop.
+    }
+  }
+
   std::vector<Token> next;
+  if (!token_level_pool_.empty()) {
+    next = std::move(token_level_pool_.back());
+    token_level_pool_.pop_back();
+  }
   std::vector<Candidate> new_cands;
+  if (!cand_level_pool_.empty()) {
+    new_cands = std::move(cand_level_pool_.back());
+    cand_level_pool_.pop_back();
+  }
+  uint64_t next_mask = 0;
+  uint32_t next_token_units = 0;
+  uint32_t next_cand_units = 0;
   // One obligation per (predicate, node) even if several tokens enter the
   // predicated state at this node.
-  std::vector<int> pred_cache(run->rule->predicates.size(), -1);
+  const bool has_preds = !run->rule->predicates.empty();
+  if (has_preds) pred_scratch_.assign(run->rule->predicates.size(), -1);
 
   for (const Token& t : top) {
     const CompiledPath::State& st = nav.states[static_cast<size_t>(t.state)];
     ++stats_.nfa_transitions;
     if (st.self_loop) {
       next.push_back(t);
+      if (t.state < 64) next_mask |= uint64_t{1} << t.state;
+      next_token_units += static_cast<uint32_t>(2 + t.deps.size());
     }
-    if (t.state + 1 <= nav.final_state && (st.wildcard || st.tag == tag)) {
+    if (t.state + 1 <= nav.final_state &&
+        (st.wildcard || (tag != kNoTagId && st.tag_id == tag))) {
       Token nt;
       nt.state = t.state + 1;
       nt.deps = t.deps;
       for (int pid : nav.states[static_cast<size_t>(nt.state)].pred_ids) {
-        int& cached = pred_cache[static_cast<size_t>(pid)];
+        int& cached = pred_scratch_[static_cast<size_t>(pid)];
         if (cached < 0) {
           cached = obligations_.Create(
               &run->rule->predicates[static_cast<size_t>(pid)], depth_);
@@ -84,7 +207,10 @@ void StreamingEvaluator::AdvanceNav(NavRun* run, const std::string& tag) {
         Candidate c;
         c.depth = depth_;
         c.deps = nt.deps;
+        if (!c.deps.empty()) ++run->dep_cand_count;
         new_cands.push_back(std::move(c));
+        next_cand_units += static_cast<uint32_t>(3 + nt.deps.size());
+        ++run->cand_count;
         ++stats_.candidates_created;
       }
       // Dedupe identical tokens.
@@ -95,28 +221,69 @@ void StreamingEvaluator::AdvanceNav(NavRun* run, const std::string& tag) {
           break;
         }
       }
-      if (!dup) next.push_back(std::move(nt));
+      if (!dup) {
+        if (nt.state < 64) next_mask |= uint64_t{1} << nt.state;
+        next_token_units += static_cast<uint32_t>(2 + nt.deps.size());
+        next.push_back(std::move(nt));
+      }
     }
   }
+  if (next.empty()) {
+    // Oversize fallback only: the mask test already proved this otherwise.
+    if (token_level_pool_.size() < kMaxPooled) {
+      token_level_pool_.push_back(std::move(next));
+    }
+    if (cand_level_pool_.size() < kMaxPooled) {
+      cand_level_pool_.push_back(std::move(new_cands));
+    }
+    ++run->dormant;
+    return;
+  }
+  if (!new_cands.empty()) run->cand_level_depths.push_back(depth_);
   run->tokens.push_back(std::move(next));
   run->cands.push_back(std::move(new_cands));
+  run->live_masks.push_back(next_mask);
+  run->level_token_units.push_back(next_token_units);
+  run->level_cand_units.push_back(next_cand_units);
+  run->level_repeats.push_back(0);
+  run_modeled_units_ += next_token_units + next_cand_units;
 }
 
-StreamingEvaluator::Snapshot StreamingEvaluator::BuildSnapshot() const {
-  Snapshot snap;
-  snap.auth.resize(runs_.size());
-  for (size_t i = 0; i < runs_.size(); ++i) {
-    for (const auto& level : runs_[i].cands) {
-      for (const Candidate& c : level) snap.auth[i].push_back(c);
+void StreamingEvaluator::RetreatNav(NavRun* run) {
+  if (run->dormant > 0) {
+    --run->dormant;
+    return;
+  }
+  if (run->level_repeats.back() > 0) {
+    --run->level_repeats.back();
+    run_modeled_units_ -= run->level_token_units.back();
+    return;
+  }
+  if (!run->cands.back().empty()) {
+    run->cand_level_depths.pop_back();
+    for (const Candidate& c : run->cands.back()) {
+      if (!c.deps.empty()) --run->dep_cand_count;
     }
   }
-  if (query_run_) {
-    snap.has_query = true;
-    for (const auto& level : query_run_->cands) {
-      for (const Candidate& c : level) snap.query.push_back(c);
-    }
+  run->cand_count -= run->cands.back().size();
+  run_modeled_units_ -=
+      run->level_token_units.back() + run->level_cand_units.back();
+  run->level_token_units.pop_back();
+  run->level_cand_units.pop_back();
+  run->live_masks.pop_back();
+  run->level_repeats.pop_back();
+  std::vector<Token> toks = std::move(run->tokens.back());
+  run->tokens.pop_back();
+  std::vector<Candidate> cands = std::move(run->cands.back());
+  run->cands.pop_back();
+  toks.clear();
+  cands.clear();
+  if (token_level_pool_.size() < kMaxPooled) {
+    token_level_pool_.push_back(std::move(toks));
   }
-  return snap;
+  if (cand_level_pool_.size() < kMaxPooled) {
+    cand_level_pool_.push_back(std::move(cands));
+  }
 }
 
 StreamingEvaluator::CandStatus StreamingEvaluator::StatusOf(
@@ -136,61 +303,44 @@ StreamingEvaluator::CandStatus StreamingEvaluator::StatusOf(
   return pending ? CandStatus::kPending : CandStatus::kHolds;
 }
 
-StreamingEvaluator::DecisionResult StreamingEvaluator::Decide(
-    const Snapshot& snap) const {
+StreamingEvaluator::CandStatus StreamingEvaluator::StatusOfSpan(
+    const Snapshot& snap, const SnapCand& c) const {
+  bool pending = false;
+  for (uint32_t i = c.deps_begin; i < c.deps_end; ++i) {
+    switch (obligations_.state(snap.deps[i])) {
+      case ObligationSet::State::kFalse:
+        return CandStatus::kDead;
+      case ObligationSet::State::kPending:
+        pending = true;
+        break;
+      case ObligationSet::State::kTrue:
+        break;
+    }
+  }
+  return pending ? CandStatus::kPending : CandStatus::kHolds;
+}
+
+StreamingEvaluator::DecisionResult StreamingEvaluator::Combine(
+    const WorldAcc& deny_world, const WorldAcc& permit_world, bool has_query,
+    bool query_min, bool query_max) {
   // Authorization, bracketed by two extreme worlds. Pending candidates of
   // negative rules hold in the deny-world; of positive rules in the
   // permit-world. Per-rule monotonicity makes the bracket exact (see
   // DESIGN.md §4).
-  auto auth_world = [&](bool deny_world) -> bool {
-    int best_depth = -1;
-    bool deny_at_best = false;
-    for (size_t i = 0; i < snap.auth.size(); ++i) {
-      bool positive = runs_[i].positive;
-      int eff = -1;
-      for (const Candidate& c : snap.auth[i]) {
-        CandStatus s = StatusOf(c);
-        bool holds = (s == CandStatus::kHolds) ||
-                     (s == CandStatus::kPending &&
-                      (deny_world ? !positive : positive));
-        if (holds && c.depth > eff) eff = c.depth;
-      }
-      if (eff < 0) continue;
-      if (eff > best_depth) {
-        best_depth = eff;
-        deny_at_best = !positive;
-      } else if (eff == best_depth && !positive) {
-        deny_at_best = true;  // Denial-Takes-Precedence at equal depth
-      }
-    }
-    if (best_depth < 0) return false;  // closed policy
-    return !deny_at_best;
-  };
   DecisionResult r;
-  bool permit_in_deny_world = auth_world(true);
-  bool permit_in_permit_world = auth_world(false);
+  bool permit_in_deny_world = deny_world.Permit();
+  bool permit_in_permit_world = permit_world.Permit();
   if (permit_in_deny_world == permit_in_permit_world) {
     r.auth = permit_in_deny_world ? Tri::kYes : Tri::kNo;
   } else {
     r.auth = Tri::kPending;
   }
 
-  if (!snap.has_query) {
+  if (!has_query) {
     r.query = Tri::kYes;
   } else {
-    bool in_min = false;  // pendings assumed false
-    bool in_max = false;  // pendings assumed true
-    for (const Candidate& c : snap.query) {
-      CandStatus s = StatusOf(c);
-      if (s == CandStatus::kHolds) {
-        in_min = true;
-        in_max = true;
-      } else if (s == CandStatus::kPending) {
-        in_max = true;
-      }
-    }
-    r.query = (in_min == in_max) ? (in_min ? Tri::kYes : Tri::kNo)
-                                 : Tri::kPending;
+    r.query = (query_min == query_max) ? (query_min ? Tri::kYes : Tri::kNo)
+                                       : Tri::kPending;
   }
 
   if (r.auth == Tri::kNo || r.query == Tri::kNo) {
@@ -201,6 +351,136 @@ StreamingEvaluator::DecisionResult StreamingEvaluator::Decide(
     r.delivered = Tri::kPending;
   }
   return r;
+}
+
+StreamingEvaluator::DecisionResult StreamingEvaluator::DecideLive() const {
+  WorldAcc deny_world, permit_world;
+  for (const NavRun& run : runs_) {
+    if (run.cand_count == 0) continue;
+    if (run.dep_cand_count == 0) {
+      // Every candidate holds unconditionally in both worlds.
+      int eff = run.cand_level_depths.back();
+      deny_world.AddRule(eff, run.positive);
+      permit_world.AddRule(eff, run.positive);
+      continue;
+    }
+    int eff_deny = -1, eff_permit = -1;
+    for (const auto& level : run.cands) {
+      for (const Candidate& c : level) {
+        CandStatus s = StatusOf(c);
+        if (s == CandStatus::kDead) continue;
+        bool holds_deny =
+            s == CandStatus::kHolds ||
+            (s == CandStatus::kPending && !run.positive);
+        bool holds_permit =
+            s == CandStatus::kHolds ||
+            (s == CandStatus::kPending && run.positive);
+        if (holds_deny && c.depth > eff_deny) eff_deny = c.depth;
+        if (holds_permit && c.depth > eff_permit) eff_permit = c.depth;
+      }
+    }
+    deny_world.AddRule(eff_deny, run.positive);
+    permit_world.AddRule(eff_permit, run.positive);
+  }
+  bool query_min = false, query_max = false;
+  if (query_run_ && query_run_->cand_count > 0) {
+    if (query_run_->dep_cand_count == 0) {
+      query_min = true;
+      query_max = true;
+    } else {
+      for (const auto& level : query_run_->cands) {
+        for (const Candidate& c : level) {
+          CandStatus s = StatusOf(c);
+          if (s == CandStatus::kHolds) {
+            query_min = true;
+            query_max = true;
+          } else if (s == CandStatus::kPending) {
+            query_max = true;
+          }
+        }
+      }
+    }
+  }
+  return Combine(deny_world, permit_world, query_run_ != nullptr, query_min,
+                 query_max);
+}
+
+StreamingEvaluator::DecisionResult StreamingEvaluator::Decide(
+    const Snapshot& snap) const {
+  WorldAcc deny_world, permit_world;
+  size_t i = 0;
+  while (i < snap.auth.size()) {
+    uint32_t rule = snap.auth[i].rule;
+    bool positive = snap.auth[i].positive;
+    int eff_deny = -1, eff_permit = -1;
+    for (; i < snap.auth.size() && snap.auth[i].rule == rule; ++i) {
+      const SnapCand& c = snap.auth[i];
+      CandStatus s = StatusOfSpan(snap, c);
+      if (s == CandStatus::kDead) continue;
+      bool holds_deny =
+          s == CandStatus::kHolds || (s == CandStatus::kPending && !positive);
+      bool holds_permit =
+          s == CandStatus::kHolds || (s == CandStatus::kPending && positive);
+      if (holds_deny && c.depth > eff_deny) eff_deny = c.depth;
+      if (holds_permit && c.depth > eff_permit) eff_permit = c.depth;
+    }
+    deny_world.AddRule(eff_deny, positive);
+    permit_world.AddRule(eff_permit, positive);
+  }
+  bool query_min = false, query_max = false;
+  for (const SnapCand& c : snap.query) {
+    CandStatus s = StatusOfSpan(snap, c);
+    if (s == CandStatus::kHolds) {
+      query_min = true;
+      query_max = true;
+    } else if (s == CandStatus::kPending) {
+      query_max = true;
+    }
+  }
+  return Combine(deny_world, permit_world, snap.has_query, query_min,
+                 query_max);
+}
+
+StreamingEvaluator::Snapshot StreamingEvaluator::BuildSnapshot() {
+  Snapshot snap;
+  if (!snapshot_pool_.empty()) {
+    snap = std::move(snapshot_pool_.back());
+    snapshot_pool_.pop_back();
+    snap.Clear();
+  }
+  auto append = [&snap](const NavRun& run, uint32_t slot,
+                        std::vector<SnapCand>* dst) {
+    for (const auto& level : run.cands) {
+      for (const Candidate& c : level) {
+        SnapCand sc;
+        sc.depth = c.depth;
+        sc.rule = slot;
+        sc.positive = run.positive;
+        sc.deps_begin = static_cast<uint32_t>(snap.deps.size());
+        snap.deps.insert(snap.deps.end(), c.deps.begin(), c.deps.end());
+        sc.deps_end = static_cast<uint32_t>(snap.deps.size());
+        dst->push_back(sc);
+      }
+    }
+  };
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].cand_count == 0) continue;
+    append(runs_[i], static_cast<uint32_t>(i), &snap.auth);
+  }
+  if (query_run_) {
+    snap.has_query = true;
+    if (query_run_->cand_count > 0) {
+      append(*query_run_, 0, &snap.query);
+    }
+  }
+  return snap;
+}
+
+void StreamingEvaluator::ReleaseSnapshot(Snapshot&& snap) {
+  if (snapshot_pool_.size() < kMaxPooled) {
+    snap.Clear();
+    snapshot_pool_.push_back(std::move(snap));
+  }
 }
 
 Status StreamingEvaluator::OnEvent(const Event& event) {
@@ -221,35 +501,81 @@ Status StreamingEvaluator::OnEvent(const Event& event) {
   return Status::Internal("unknown event type");
 }
 
+StreamingEvaluator::OutEvent StreamingEvaluator::AcquireOut(
+    const xml::Event& event, int depth) {
+  OutEvent oe;
+  if (!out_pool_.empty()) {
+    oe = std::move(out_pool_.back());
+    out_pool_.pop_back();
+  }
+  oe.event.type = event.type;
+  oe.event.name = event.name;
+  oe.event.text = event.text;
+  oe.event.attrs = event.attrs;
+  oe.event.tag_id = event.tag_id;
+  oe.depth = depth;
+  oe.has_snapshot = false;
+  oe.decided = false;
+  oe.delivered = false;
+  oe.modeled = 2 + event.name.size() + event.text.size();
+  for (const auto& a : event.attrs) oe.modeled += a.name.size() + a.value.size();
+  return oe;
+}
+
+void StreamingEvaluator::RecycleOut(OutEvent&& ev) {
+  if (ev.has_snapshot) {
+    ReleaseSnapshot(std::move(ev.snapshot));
+    ev.has_snapshot = false;
+  }
+  if (out_pool_.size() < kMaxPooled) {
+    ev.event.name.clear();
+    ev.event.text.clear();
+    ev.event.attrs.clear();
+    out_pool_.push_back(std::move(ev));
+  }
+}
+
 Status StreamingEvaluator::HandleOpen(const Event& event) {
   ++depth_;
+  TagId tag = ResolveTag(event);
   // 1. Existing predicate instances observe the open (they belong to
   //    ancestors); resolutions may unblock the pipeline later.
-  obligations_.OnOpen(event.name, depth_);
+  obligations_.OnOpen(event.name, depth_, tag);
   // 2. Rule and query automata advance; new obligations/candidates appear.
-  for (NavRun& run : runs_) AdvanceNav(&run, event.name);
-  if (query_run_) AdvanceNav(query_run_.get(), event.name);
-  // 3. Snapshot and immediate decision attempt (also powers skip checks).
-  OutEvent ev;
-  ev.event = event;
-  ev.depth = depth_;
-  ev.snapshot = BuildSnapshot();
-  DecisionResult d = Decide(ev.snapshot);
+  for (size_t i = 0; i < runs_.size(); ++i) AdvanceNav(&runs_[i], i, tag);
+  if (query_run_) AdvanceNav(query_run_.get(), num_slots_ - 1, tag);
+  // 3. Immediate decision attempt over live state (also powers skips).
+  DecisionResult d = DecideLive();
   last_open_decision_ = d;
   last_open_decided_definitively_ = (d.delivered != Tri::kPending);
   if (d.delivered == Tri::kPending) {
     ++stats_.nodes_initially_pending;
+    OutEvent ev = AcquireOut(event, depth_);
+    ev.snapshot = BuildSnapshot();
+    ev.has_snapshot = true;
+    ev.modeled += ev.snapshot.ModeledBytes();
+    pipeline_modeled_ += ev.modeled;
+    pipeline_.push_back(std::move(ev));
+    CSXA_RETURN_IF_ERROR(FlushPipeline());
   } else {
-    ev.decided = true;
-    ev.delivered = (d.delivered == Tri::kYes);
-    if (ev.delivered) {
+    bool delivered = (d.delivered == Tri::kYes);
+    if (delivered) {
       ++stats_.nodes_permitted;
     } else {
       ++stats_.nodes_denied;
     }
+    if (pipeline_.empty()) {
+      // Nothing buffered ahead of us: bypass the pipeline entirely.
+      CSXA_RETURN_IF_ERROR(ComposeOpen(event, delivered));
+    } else {
+      OutEvent ev = AcquireOut(event, depth_);
+      ev.decided = true;
+      ev.delivered = delivered;
+      pipeline_modeled_ += ev.modeled;
+      pipeline_.push_back(std::move(ev));
+      CSXA_RETURN_IF_ERROR(FlushPipeline());
+    }
   }
-  pipeline_.push_back(std::move(ev));
-  CSXA_RETURN_IF_ERROR(FlushPipeline());
   UpdatePeaks();
   return Status::OK();
 }
@@ -259,11 +585,14 @@ Status StreamingEvaluator::HandleValue(const Event& event) {
     return Status::InvalidArgument("text event outside any element");
   }
   obligations_.OnValue(event.text, depth_);
-  OutEvent ev;
-  ev.event = event;
-  ev.depth = depth_;
-  pipeline_.push_back(std::move(ev));
-  CSXA_RETURN_IF_ERROR(FlushPipeline());
+  if (pipeline_.empty()) {
+    CSXA_RETURN_IF_ERROR(ComposeValue(event));
+  } else {
+    OutEvent ev = AcquireOut(event, depth_);
+    pipeline_modeled_ += ev.modeled;
+    pipeline_.push_back(std::move(ev));
+    CSXA_RETURN_IF_ERROR(FlushPipeline());
+  }
   UpdatePeaks();
   return Status::OK();
 }
@@ -275,21 +604,20 @@ Status StreamingEvaluator::HandleClose(const Event& event) {
   // Predicate instances whose context closes here resolve to false; value
   // captures at this depth complete.
   obligations_.OnClose(depth_);
-  for (NavRun& run : runs_) {
-    run.tokens.pop_back();
-    run.cands.pop_back();
+  for (NavRun& run : runs_) RetreatNav(&run);
+  if (query_run_) RetreatNav(query_run_.get());
+  if (pipeline_.empty()) {
+    CSXA_RETURN_IF_ERROR(ComposeClose(event));
+    --depth_;
+    last_open_decided_definitively_ = false;  // stale after close
+  } else {
+    OutEvent ev = AcquireOut(event, depth_);
+    pipeline_modeled_ += ev.modeled;
+    pipeline_.push_back(std::move(ev));
+    --depth_;
+    last_open_decided_definitively_ = false;  // stale after close
+    CSXA_RETURN_IF_ERROR(FlushPipeline());
   }
-  if (query_run_) {
-    query_run_->tokens.pop_back();
-    query_run_->cands.pop_back();
-  }
-  OutEvent ev;
-  ev.event = event;
-  ev.depth = depth_;
-  pipeline_.push_back(std::move(ev));
-  --depth_;
-  last_open_decided_definitively_ = false;  // stale after close
-  CSXA_RETURN_IF_ERROR(FlushPipeline());
   UpdatePeaks();
   return Status::OK();
 }
@@ -309,7 +637,10 @@ Status StreamingEvaluator::FlushPipeline() {
       }
     }
     CSXA_RETURN_IF_ERROR(DispatchToComposer(&ev));
+    pipeline_modeled_ -= ev.modeled;
+    OutEvent done = std::move(pipeline_.front());
     pipeline_.pop_front();
+    RecycleOut(std::move(done));
   }
   return Status::OK();
 }
@@ -328,16 +659,41 @@ Status StreamingEvaluator::DispatchToComposer(OutEvent* ev) {
   return Status::Internal("unknown out event");
 }
 
+Status StreamingEvaluator::EmitOpen(const ComposerEntry& entry, bool bare) {
+  scratch_out_.type = EventType::kOpen;
+  scratch_out_.name = entry.tag;
+  scratch_out_.text.clear();
+  if (bare) {
+    scratch_out_.attrs.clear();
+  } else {
+    scratch_out_.attrs = entry.attrs;
+  }
+  scratch_out_.tag_id = entry.tag_id;
+  return out_->OnEvent(scratch_out_);
+}
+
+Status StreamingEvaluator::EmitClose(const ComposerEntry& entry) {
+  scratch_out_.type = EventType::kClose;
+  scratch_out_.name = entry.tag;
+  scratch_out_.text.clear();
+  scratch_out_.attrs.clear();
+  scratch_out_.tag_id = entry.tag_id;
+  return out_->OnEvent(scratch_out_);
+}
+
 Status StreamingEvaluator::ComposeOpen(const Event& event, bool delivered) {
-  ComposerEntry entry;
+  if (composer_size_ == composer_.size()) composer_.emplace_back();
+  ComposerEntry& entry = composer_[composer_size_++];
   entry.tag = event.name;
+  entry.tag_id = event.tag_id;
   entry.attrs = event.attrs;
   entry.delivered = delivered;
-  composer_.push_back(std::move(entry));
+  entry.emitted = false;
+  composer_modeled_ += 2 + entry.tag.size();
   if (delivered) {
     CSXA_RETURN_IF_ERROR(EmitScaffolding());
-    ComposerEntry& self = composer_.back();
-    CSXA_RETURN_IF_ERROR(out_->OnEvent(Event::Open(self.tag, self.attrs)));
+    ComposerEntry& self = composer_[composer_size_ - 1];
+    CSXA_RETURN_IF_ERROR(EmitOpen(self, /*bare=*/false));
     self.emitted = true;
   }
   return Status::OK();
@@ -346,9 +702,9 @@ Status StreamingEvaluator::ComposeOpen(const Event& event, bool delivered) {
 Status StreamingEvaluator::EmitScaffolding() {
   // Emit bare open tags (no attributes) for every unemitted ancestor of the
   // entry at the top of the composer stack.
-  for (size_t i = 0; i + 1 < composer_.size(); ++i) {
+  for (size_t i = 0; i + 1 < composer_size_; ++i) {
     if (!composer_[i].emitted) {
-      CSXA_RETURN_IF_ERROR(out_->OnEvent(Event::Open(composer_[i].tag)));
+      CSXA_RETURN_IF_ERROR(EmitOpen(composer_[i], /*bare=*/true));
       composer_[i].emitted = true;
     }
   }
@@ -356,21 +712,23 @@ Status StreamingEvaluator::EmitScaffolding() {
 }
 
 Status StreamingEvaluator::ComposeValue(const Event& event) {
-  if (!composer_.empty() && composer_.back().delivered) {
+  if (composer_size_ > 0 && composer_[composer_size_ - 1].delivered) {
     return out_->OnEvent(event);
   }
   return Status::OK();
 }
 
-Status StreamingEvaluator::ComposeClose(const Event& event) {
-  if (composer_.empty()) {
+Status StreamingEvaluator::ComposeClose(const Event& /*event*/) {
+  if (composer_size_ == 0) {
     return Status::Internal("composer close without open");
   }
+  ComposerEntry& top = composer_[composer_size_ - 1];
   Status st = Status::OK();
-  if (composer_.back().emitted) {
-    st = out_->OnEvent(Event::Close(event.name));
+  if (top.emitted) {
+    st = EmitClose(top);
   }
-  composer_.pop_back();
+  composer_modeled_ -= 2 + top.tag.size();
+  --composer_size_;
   return st;
 }
 
@@ -389,7 +747,7 @@ Status StreamingEvaluator::Finish() {
 }
 
 bool StreamingEvaluator::CanSkipCurrentSubtree(
-    const std::function<bool(const std::string&)>& has_tag,
+    const std::function<bool(std::string_view)>& has_tag,
     bool subtree_nonempty, bool /*has_text*/) {
   // Only a definitively-undelivered node may be skipped.
   if (!last_open_decided_definitively_ ||
@@ -401,6 +759,7 @@ bool StreamingEvaluator::CanSkipCurrentSubtree(
     return false;
   }
   auto nav_reachable = [&](const NavRun& run) {
+    if (run.dormant > 0) return false;  // no live tokens at this depth
     std::vector<int> active;
     for (const Token& t : run.tokens.back()) {
       if (t.state != run.rule->nav.final_state) active.push_back(t.state);
@@ -429,27 +788,8 @@ bool StreamingEvaluator::CanSkipCurrentSubtree(
 }
 
 size_t StreamingEvaluator::ModeledRamBytes() const {
-  size_t n = 0;
-  auto run_bytes = [](const NavRun& run) {
-    size_t b = 0;
-    for (const auto& level : run.tokens) {
-      for (const Token& t : level) b += 2 + t.deps.size();
-    }
-    for (const auto& level : run.cands) {
-      for (const Candidate& c : level) b += 3 + c.deps.size();
-    }
-    return b;
-  };
-  for (const NavRun& run : runs_) n += run_bytes(run);
-  if (query_run_) n += run_bytes(*query_run_);
-  n += obligations_.ModeledBytes();
-  for (const OutEvent& ev : pipeline_) {
-    n += 2 + ev.event.name.size() + ev.event.text.size();
-    for (const auto& a : ev.event.attrs) n += a.name.size() + a.value.size();
-    n += ev.snapshot.ModeledBytes();
-  }
-  for (const ComposerEntry& e : composer_) n += 2 + e.tag.size();
-  return n;
+  return run_modeled_units_ + obligations_.ModeledBytes() +
+         pipeline_modeled_ + composer_modeled_;
 }
 
 void StreamingEvaluator::UpdatePeaks() {

@@ -9,7 +9,7 @@ PredRun::PredRun(const CompiledPath* path, int ctx_depth)
   stack_.push_back({0});
 }
 
-bool PredRun::OnOpen(const std::string& tag, int depth) {
+bool PredRun::OnOpen(std::string_view tag, int depth, TagId tag_id) {
   if (satisfied_) return false;
   // The run only sees the subtree: depth must be ctx_depth_+stack size.
   std::vector<int> next;
@@ -17,8 +17,12 @@ bool PredRun::OnOpen(const std::string& tag, int depth) {
   for (int s : top) {
     const CompiledPath::State& st = path_->states[static_cast<size_t>(s)];
     ++transitions_;
+    bool name_match =
+        st.wildcard || (st.tag_id != kNoTagId && tag_id != kNoTagId
+                            ? st.tag_id == tag_id
+                            : st.tag == tag);
     if (st.self_loop) next.push_back(s);
-    if (s + 1 <= path_->final_state && (st.wildcard || st.tag == tag)) {
+    if (s + 1 <= path_->final_state && name_match) {
       int t = s + 1;
       if (t == path_->final_state) {
         if (path_->op == xpath::CmpOp::kExists) {
@@ -37,7 +41,7 @@ bool PredRun::OnOpen(const std::string& tag, int depth) {
   return false;
 }
 
-void PredRun::OnValue(const std::string& text, int depth) {
+void PredRun::OnValue(std::string_view text, int depth) {
   if (satisfied_) return;
   for (Capture& c : captures_) {
     if (c.depth == depth) c.text += text;
@@ -75,7 +79,7 @@ bool PredRun::HasCaptureAtDepth(int depth) const {
 }
 
 bool PredRun::CanResolveWithin(
-    const std::function<bool(const std::string&)>& has_tag,
+    const std::function<bool(std::string_view)>& has_tag,
     bool subtree_nonempty) const {
   if (satisfied_) return false;
   return CanReachFinal(*path_, stack_.back(), has_tag, subtree_nonempty);
@@ -117,17 +121,17 @@ bool ObligationSet::Sweep() {
   return changed;
 }
 
-bool ObligationSet::OnOpen(const std::string& tag, int depth) {
+bool ObligationSet::OnOpen(std::string_view tag, int depth, TagId tag_id) {
   bool any = false;
   for (int id : live_) {
     Entry& e = entries_[static_cast<size_t>(id)];
-    if (e.run->OnOpen(tag, depth)) any = true;
+    if (e.run->OnOpen(tag, depth, tag_id)) any = true;
   }
   if (any) Sweep();
   return any;
 }
 
-bool ObligationSet::OnValue(const std::string& text, int depth) {
+bool ObligationSet::OnValue(std::string_view text, int depth) {
   for (int id : live_) {
     entries_[static_cast<size_t>(id)].run->OnValue(text, depth);
   }
@@ -152,7 +156,7 @@ bool ObligationSet::OnClose(int depth) {
 }
 
 bool ObligationSet::BlocksSkip(
-    const std::function<bool(const std::string&)>& has_tag,
+    const std::function<bool(std::string_view)>& has_tag,
     bool subtree_nonempty, int subtree_root_depth) const {
   for (int id : live_) {
     const Entry& e = entries_[static_cast<size_t>(id)];

@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/automaton.h"
@@ -31,11 +32,14 @@ class PredRun {
   PredRun(const CompiledPath* path, int ctx_depth);
 
   /// Feeds an element open at `depth`. Returns true if the predicate
-  /// became satisfied (kExists predicates satisfy on open).
-  bool OnOpen(const std::string& tag, int depth);
+  /// became satisfied (kExists predicates satisfy on open). `tag_id` is
+  /// the tag resolved against the owning evaluator's rule alphabet; when
+  /// both it and a state's tag_id are set, matching is an integer compare,
+  /// otherwise it falls back to the name.
+  bool OnOpen(std::string_view tag, int depth, TagId tag_id = kNoTagId);
   /// Feeds character data at element depth `depth` (the enclosing
   /// element's depth). Captures direct text of value-test matches.
-  void OnValue(const std::string& text, int depth);
+  void OnValue(std::string_view text, int depth);
   /// Feeds an element close at `depth`. Returns true if a value-test
   /// capture completed and satisfied the comparison.
   bool OnClose(int depth);
@@ -52,7 +56,7 @@ class PredRun {
   bool HasCaptureAtDepth(int depth) const;
   /// Conservative: true if this run could become satisfied by content of a
   /// subtree whose tag set is described by `has_tag` (skip safety test).
-  bool CanResolveWithin(const std::function<bool(const std::string&)>& has_tag,
+  bool CanResolveWithin(const std::function<bool(std::string_view)>& has_tag,
                         bool subtree_nonempty) const;
 
   /// Modeled on-card footprint in bytes (stack entries + capture text).
@@ -89,8 +93,8 @@ class ObligationSet {
 
   /// Feeds events to all live obligations. Each returns true if at least
   /// one obligation changed state (a signal to retry the output pipeline).
-  bool OnOpen(const std::string& tag, int depth);
-  bool OnValue(const std::string& text, int depth);
+  bool OnOpen(std::string_view tag, int depth, TagId tag_id = kNoTagId);
+  bool OnValue(std::string_view text, int depth);
   /// Close also resolves to false every pending obligation whose context
   /// node is the element closing at `depth`.
   bool OnClose(int depth);
@@ -107,7 +111,7 @@ class ObligationSet {
   /// its final state over the subtree's tag set, or it has an open value
   /// capture at `subtree_root_depth` (direct text of the node whose
   /// content would be skipped).
-  bool BlocksSkip(const std::function<bool(const std::string&)>& has_tag,
+  bool BlocksSkip(const std::function<bool(std::string_view)>& has_tag,
                   bool subtree_nonempty, int subtree_root_depth) const;
 
   /// Total modeled footprint of live obligations.

@@ -311,7 +311,7 @@ Result<xml::Event> DocumentDecoder::Next() {
       ++depth_;
       just_opened_ = true;
       return xml::Event::Open(tag_dict_.Name(static_cast<uint32_t>(tag_id)),
-                              std::move(attrs));
+                              std::move(attrs), static_cast<TagId>(tag_id));
     }
     case kTokValue: {
       just_opened_ = false;
@@ -327,14 +327,14 @@ Result<xml::Event> DocumentDecoder::Next() {
       tagset_stack_.pop_back();
       --depth_;
       if (depth_ == 0) root_closed_ = true;
-      return xml::Event::Close(tag_dict_.Name(tag_id));
+      return xml::Event::Close(tag_dict_.Name(tag_id), tag_id);
     }
     default:
       return Status::ParseError("unknown token in document stream");
   }
 }
 
-bool DocumentDecoder::SubtreeHasTag(const std::string& tag) const {
+bool DocumentDecoder::SubtreeHasTag(std::string_view tag) const {
   if (!with_index_ || tagset_stack_.empty()) return false;
   uint32_t id = tag_dict_.Lookup(tag);
   if (id == kNoId) return false;

@@ -94,7 +94,7 @@ class DocumentDecoder {
   bool last_has_elements() const { return last_has_elements_; }
   bool last_has_text() const { return last_has_text_; }
   /// Membership test over the subtree's tag set (false without index).
-  bool SubtreeHasTag(const std::string& tag) const;
+  bool SubtreeHasTag(std::string_view tag) const;
   /// @}
 
   /// Skips the content of the element just opened; the next event will be

@@ -5,6 +5,9 @@ namespace csxa::skipindex {
 Status RunFiltered(DocumentDecoder* decoder,
                    core::StreamingEvaluator* evaluator,
                    const FilterOptions& options, FilterStats* stats) {
+  // Events from the decoder carry its dictionary's tag ids; bind them so
+  // the evaluator dispatches on integers without per-event name lookups.
+  evaluator->BindDocumentTags(decoder->tags());
   for (;;) {
     CSXA_ASSIGN_OR_RETURN(xml::Event event, decoder->Next());
     CSXA_RETURN_IF_ERROR(evaluator->OnEvent(event));
@@ -15,7 +18,7 @@ Status RunFiltered(DocumentDecoder* decoder,
     if (event.type == xml::EventType::kOpen && options.enable_skip &&
         decoder->has_index() && decoder->last_content_size() > 0) {
       bool nonempty = decoder->last_has_elements();
-      auto has_tag = [decoder](const std::string& tag) {
+      auto has_tag = [decoder](std::string_view tag) {
         return decoder->SubtreeHasTag(tag);
       };
       if (evaluator->CanSkipCurrentSubtree(has_tag, nonempty,

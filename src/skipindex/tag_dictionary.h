@@ -2,48 +2,20 @@
 #define CSXA_SKIPINDEX_TAG_DICTIONARY_H_
 
 /// \file tag_dictionary.h
-/// \brief XGRIND-style dictionary of tag and attribute names (§2.3, [9]).
-///
-/// The encoded document stores tag ids instead of names; the skip index's
-/// per-subtree tag sets are bit arrays over this dictionary.
+/// \brief Compatibility forward: the XGRIND-style dictionary was promoted
+/// to the shared `common/interner.h` subsystem (it now also backs the
+/// interned-tag event pipeline). The skip index keeps its historical
+/// names.
 
-#include <string>
-#include <unordered_map>
-#include <vector>
-
-#include "common/bytes.h"
-#include "common/status.h"
+#include "common/interner.h"
 
 namespace csxa::skipindex {
 
 /// Sentinel for "name not in dictionary".
-inline constexpr uint32_t kNoId = 0xFFFFFFFFu;
+inline constexpr uint32_t kNoId = ::csxa::kNoTagId;
 
 /// \brief An ordered, deduplicated name table with O(1) lookups both ways.
-class TagDictionary {
- public:
-  TagDictionary() = default;
-
-  /// Adds a name if absent; returns its id.
-  uint32_t Intern(const std::string& name);
-  /// Id of `name`, or kNoId.
-  uint32_t Lookup(const std::string& name) const;
-  /// Name of `id` (must be < size()).
-  const std::string& Name(uint32_t id) const { return names_[id]; }
-  /// Number of entries.
-  size_t size() const { return names_.size(); }
-
-  /// Serialized form: varint count, then per name varint length + bytes.
-  void EncodeTo(ByteWriter* out) const;
-  static Result<TagDictionary> DecodeFrom(ByteReader* in);
-
-  /// Modeled on-card footprint (the SOE keeps the dictionary in RAM).
-  size_t ModeledBytes() const;
-
- private:
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, uint32_t> index_;
-};
+using TagDictionary = ::csxa::Interner;
 
 }  // namespace csxa::skipindex
 

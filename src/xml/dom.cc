@@ -68,15 +68,16 @@ int DomNode::MaxDepth() const {
   return best;
 }
 
-Status DomNode::EmitEvents(EventSink* sink) const {
+Status DomNode::EmitEvents(EventSink* sink, Interner* tags) const {
   if (is_text()) {
     return sink->OnEvent(Event::Value(text_));
   }
-  CSXA_RETURN_IF_ERROR(sink->OnEvent(Event::Open(tag_, attrs_)));
+  TagId id = tags != nullptr ? tags->Intern(tag_) : kNoTagId;
+  CSXA_RETURN_IF_ERROR(sink->OnEvent(Event::Open(tag_, attrs_, id)));
   for (const auto& c : children_) {
-    CSXA_RETURN_IF_ERROR(c->EmitEvents(sink));
+    CSXA_RETURN_IF_ERROR(c->EmitEvents(sink, tags));
   }
-  return sink->OnEvent(Event::Close(tag_));
+  return sink->OnEvent(Event::Close(tag_, id));
 }
 
 void DomNode::CollectElements(std::vector<const DomNode*>* out) const {

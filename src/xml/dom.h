@@ -71,8 +71,10 @@ class DomNode {
   int MaxDepth() const;
 
   /// Pre-order walk emitting open/value/close events into `sink`
-  /// (no trailing kEnd).
-  Status EmitEvents(EventSink* sink) const;
+  /// (no trailing kEnd). With `tags`, every open/close event carries the
+  /// interner's id for its tag, so id-dispatching consumers (the streaming
+  /// evaluator after BindDocumentTags) skip per-event name lookups.
+  Status EmitEvents(EventSink* sink, Interner* tags = nullptr) const;
 
   /// Collects every element in the subtree in document order.
   void CollectElements(std::vector<const DomNode*>* out) const;

@@ -2,7 +2,7 @@
 
 namespace csxa::xml {
 
-std::string Escape(const std::string& raw) {
+std::string Escape(std::string_view raw) {
   std::string out;
   out.reserve(raw.size());
   for (char c : raw) {
@@ -29,7 +29,7 @@ std::string Escape(const std::string& raw) {
   return out;
 }
 
-Result<std::string> Unescape(const std::string& escaped) {
+Result<std::string> Unescape(std::string_view escaped) {
   std::string out;
   out.reserve(escaped.size());
   for (size_t i = 0; i < escaped.size(); ++i) {
@@ -38,10 +38,10 @@ Result<std::string> Unescape(const std::string& escaped) {
       continue;
     }
     size_t semi = escaped.find(';', i + 1);
-    if (semi == std::string::npos) {
+    if (semi == std::string_view::npos) {
       return csxa::Status::ParseError("unterminated entity reference");
     }
-    std::string ent = escaped.substr(i + 1, semi - i - 1);
+    std::string_view ent = escaped.substr(i + 1, semi - i - 1);
     if (ent == "amp") {
       out.push_back('&');
     } else if (ent == "lt") {
@@ -97,7 +97,8 @@ Result<std::string> Unescape(const std::string& escaped) {
         out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
       }
     } else {
-      return csxa::Status::ParseError("unknown entity: &" + ent + ";");
+      return csxa::Status::ParseError("unknown entity: &" + std::string(ent) +
+                                      ";");
     }
     i = semi;
   }

@@ -5,17 +5,18 @@
 /// \brief XML entity escaping and unescaping.
 
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 
 namespace csxa::xml {
 
 /// Escapes &, <, >, ", ' for safe inclusion in text or attribute values.
-std::string Escape(const std::string& raw);
+std::string Escape(std::string_view raw);
 
 /// Resolves the five predefined entities plus decimal/hex character
 /// references. Unknown entities are a ParseError.
-Result<std::string> Unescape(const std::string& escaped);
+Result<std::string> Unescape(std::string_view escaped);
 
 }  // namespace csxa::xml
 

@@ -9,11 +9,21 @@
 /// raising open, value and close events" (§2.3). Attributes ride along with
 /// the open event; the XPath fragment XP{[],*,//} does not address them, so
 /// they inherit their element's authorization.
+///
+/// Events carry an optional interned `TagId` (common/interner.h) assigned
+/// by their producer: the document decoder emits its dictionary's ids
+/// natively, and the parser / DOM emitter fill them in when handed an
+/// interner. Consumers that dispatch per tag (the evaluator above all)
+/// translate the producer id once and then work on integers; `name`/`text`
+/// remain owned strings so recorded event streams stay valid after their
+/// producer is gone (short tags sit in SSO storage, so ownership costs no
+/// heap traffic on the hot path).
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 
 namespace csxa::xml {
@@ -44,12 +54,17 @@ struct Event {
   std::string name;               ///< Tag name for kOpen / kClose.
   std::string text;               ///< Character data for kValue.
   std::vector<Attribute> attrs;   ///< Attributes for kOpen.
+  /// Producer-assigned interned id of `name` (kNoTagId when the producer
+  /// had no interner). Advisory: equality ignores it.
+  TagId tag_id = kNoTagId;
 
-  static Event Open(std::string tag, std::vector<Attribute> attrs = {}) {
+  static Event Open(std::string tag, std::vector<Attribute> attrs = {},
+                    TagId id = kNoTagId) {
     Event e;
     e.type = EventType::kOpen;
     e.name = std::move(tag);
     e.attrs = std::move(attrs);
+    e.tag_id = id;
     return e;
   }
   static Event Value(std::string text) {
@@ -58,15 +73,21 @@ struct Event {
     e.text = std::move(text);
     return e;
   }
-  static Event Close(std::string tag) {
+  static Event Close(std::string tag, TagId id = kNoTagId) {
     Event e;
     e.type = EventType::kClose;
     e.name = std::move(tag);
+    e.tag_id = id;
     return e;
   }
   static Event End() { return Event{}; }
 
-  bool operator==(const Event&) const = default;
+  /// Structural equality; the advisory tag_id is deliberately excluded so
+  /// streams from id-carrying and plain producers compare equal.
+  bool operator==(const Event& o) const {
+    return type == o.type && name == o.name && text == o.text &&
+           attrs == o.attrs;
+  }
 };
 
 /// \brief Consumer interface for event streams.

@@ -85,13 +85,13 @@ Status PullParser::SkipMisc() {
   }
 }
 
-Result<std::string> PullParser::ParseName() {
+Result<std::string_view> PullParser::ParseName() {
   if (AtEnd() || !IsNameStart(Peek())) {
     return Error("expected name");
   }
   size_t start = pos_;
   while (!AtEnd() && IsNameChar(Peek())) Advance();
-  return input_.substr(start, pos_ - start);
+  return std::string_view(input_).substr(start, pos_ - start);
 }
 
 Result<std::string> PullParser::ParseAttrValue() {
@@ -106,14 +106,14 @@ Result<std::string> PullParser::ParseAttrValue() {
     Advance();
   }
   if (AtEnd()) return Error("unterminated attribute value");
-  std::string raw = input_.substr(start, pos_ - start);
+  std::string_view raw = std::string_view(input_).substr(start, pos_ - start);
   Advance();  // closing quote
   return Unescape(raw);
 }
 
 Result<Event> PullParser::ParseOpenTag() {
   // Cursor is just past '<'.
-  CSXA_ASSIGN_OR_RETURN(std::string name, ParseName());
+  CSXA_ASSIGN_OR_RETURN(std::string_view name, ParseName());
   std::vector<Attribute> attrs;
   for (;;) {
     while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
@@ -122,44 +122,46 @@ Result<Event> PullParser::ParseOpenTag() {
       Advance();
       open_tags_.push_back(name);
       ++depth_;
-      return Event::Open(std::move(name), std::move(attrs));
+      return Event::Open(std::string(name), std::move(attrs), InternTag(name));
     }
     if (Lookahead("/>")) {
       pos_ += 2;
       pending_close_ = true;
       pending_close_name_ = name;
-      return Event::Open(std::move(name), std::move(attrs));
+      pending_close_id_ = InternTag(name);
+      return Event::Open(std::string(name), std::move(attrs),
+                         pending_close_id_);
     }
-    CSXA_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+    CSXA_ASSIGN_OR_RETURN(std::string_view attr_name, ParseName());
     while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
     if (AtEnd() || Peek() != '=') return Error("expected '=' after attribute name");
     Advance();
     while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
     CSXA_ASSIGN_OR_RETURN(std::string value, ParseAttrValue());
-    attrs.push_back(Attribute{std::move(attr_name), std::move(value)});
+    attrs.push_back(Attribute{std::string(attr_name), std::move(value)});
   }
 }
 
 Result<Event> PullParser::ParseCloseTag() {
   // Cursor is just past "</".
-  CSXA_ASSIGN_OR_RETURN(std::string name, ParseName());
+  CSXA_ASSIGN_OR_RETURN(std::string_view name, ParseName());
   while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
   if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
   Advance();
   if (open_tags_.empty() || open_tags_.back() != name) {
-    return Error("mismatched end tag </" + name + ">");
+    return Error("mismatched end tag </" + std::string(name) + ">");
   }
   open_tags_.pop_back();
   --depth_;
   if (depth_ == 0) done_ = true;
-  return Event::Close(std::move(name));
+  return Event::Close(std::string(name), InternTag(name));
 }
 
 Result<Event> PullParser::Next() {
   if (pending_close_) {
     pending_close_ = false;
     if (depth_ == 0) done_ = true;
-    return Event::Close(pending_close_name_);
+    return Event::Close(std::string(pending_close_name_), pending_close_id_);
   }
   for (;;) {
     if (done_) {
@@ -195,7 +197,7 @@ Result<Event> PullParser::Next() {
           size_t start = pos_;
           while (!AtEnd() && !Lookahead("]]>")) Advance();
           if (AtEnd()) return Error("unterminated CDATA section");
-          text += input_.substr(start, pos_ - start);
+          text.append(input_, start, pos_ - start);
           pos_ += 3;
           continue;
         } else if (Lookahead("<?")) {
@@ -208,8 +210,9 @@ Result<Event> PullParser::Next() {
       } else {
         size_t start = pos_;
         while (!AtEnd() && Peek() != '<') Advance();
-        CSXA_ASSIGN_OR_RETURN(std::string chunk,
-                              Unescape(input_.substr(start, pos_ - start)));
+        CSXA_ASSIGN_OR_RETURN(
+            std::string chunk,
+            Unescape(std::string_view(input_).substr(start, pos_ - start)));
         text += chunk;
         if (!options_.coalesce_text) break;
       }

@@ -14,8 +14,10 @@
 /// NotSupported): DTDs, namespaces beyond treating ':' as a name char.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 #include "xml/event.h"
 
@@ -29,12 +31,21 @@ struct ParserOptions {
   /// Coalesce adjacent character data (including around CDATA) into a
   /// single value event.
   bool coalesce_text = true;
+  /// When set, every open/close event carries this interner's id for its
+  /// tag (names are interned on first sight). Must outlive the parser;
+  /// not owned.
+  Interner* interner = nullptr;
 };
 
 /// \brief Cursor-based pull parser over an in-memory document.
 class PullParser {
  public:
   explicit PullParser(std::string input, ParserOptions options = {});
+
+  // Non-copyable/movable: open_tags_ and pending_close_name_ are views
+  // into input_, which relocates under copy/move (SSO).
+  PullParser(const PullParser&) = delete;
+  PullParser& operator=(const PullParser&) = delete;
 
   /// Produces the next event; Event.type == kEnd after the root closes.
   /// Returns ParseError on malformed input.
@@ -59,9 +70,14 @@ class PullParser {
   Status SkipProcessingInstruction();  // after "<?"
   Result<Event> ParseOpenTag();    // after '<'
   Result<Event> ParseCloseTag();   // after "</"
-  Result<std::string> ParseName();
+  // Non-owning slice of input_; valid for the parser's lifetime.
+  Result<std::string_view> ParseName();
   Result<std::string> ParseAttrValue();
   Status Error(const std::string& msg) const;
+  TagId InternTag(std::string_view name) {
+    return options_.interner != nullptr ? options_.interner->Intern(name)
+                                        : kNoTagId;
+  }
 
   bool AtEnd() const { return pos_ >= input_.size(); }
   char Peek() const { return input_[pos_]; }
@@ -75,10 +91,12 @@ class PullParser {
   int depth_ = 0;
   bool root_seen_ = false;
   bool done_ = false;
-  // Pending end-tag event for self-closing elements.
+  // Pending end-tag event for self-closing elements. The name is a slice
+  // of input_, which is stable for the parser's lifetime.
   bool pending_close_ = false;
-  std::string pending_close_name_;
-  std::vector<std::string> open_tags_;
+  std::string_view pending_close_name_;
+  TagId pending_close_id_ = kNoTagId;
+  std::vector<std::string_view> open_tags_;
 };
 
 }  // namespace csxa::xml

@@ -82,7 +82,7 @@ TEST(ReachabilityTest, TagGateControlsTraversal) {
   auto in_set = [](std::initializer_list<const char*> tags) {
     std::vector<std::string> v;
     for (const char* t : tags) v.emplace_back(t);
-    return [v](const std::string& tag) {
+    return [v](std::string_view tag) {
       for (const auto& s : v) {
         if (s == tag) return true;
       }
@@ -100,7 +100,7 @@ TEST(ReachabilityTest, TagGateControlsTraversal) {
 
 TEST(ReachabilityTest, WildcardNeedsNonEmptySubtree) {
   CompiledRule r = Compile("//*/secret");
-  auto has_secret = [](const std::string& t) { return t == "secret"; };
+  auto has_secret = [](std::string_view t) { return t == "secret"; };
   EXPECT_TRUE(CanReachFinal(r.nav, {0}, has_secret, true));
   EXPECT_FALSE(CanReachFinal(r.nav, {0}, has_secret, false));
 }
@@ -108,14 +108,14 @@ TEST(ReachabilityTest, WildcardNeedsNonEmptySubtree) {
 TEST(ReachabilityTest, FinalStateInActiveSetIsReachable) {
   CompiledRule r = Compile("//a");
   EXPECT_TRUE(CanReachFinal(
-      r.nav, {r.nav.final_state}, [](const std::string&) { return false; },
+      r.nav, {r.nav.final_state}, [](std::string_view) { return false; },
       true));
 }
 
 TEST(ReachabilityTest, EmptyActiveSetUnreachable) {
   CompiledRule r = Compile("//a");
   EXPECT_FALSE(CanReachFinal(
-      r.nav, {}, [](const std::string&) { return true; }, true));
+      r.nav, {}, [](std::string_view) { return true; }, true));
 }
 
 TEST(AutomatonTest, NestedPredicatesRejected) {

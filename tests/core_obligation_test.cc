@@ -169,8 +169,8 @@ TEST(ObligationSetTest, BlocksSkipWhenResolvableInside) {
   CompiledPath p = CompilePred(".//c");
   ObligationSet set;
   set.Create(&p, 1);
-  auto has_c = [](const std::string& t) { return t == "c"; };
-  auto no_c = [](const std::string& t) { return t == "z"; };
+  auto has_c = [](std::string_view t) { return t == "c"; };
+  auto no_c = [](std::string_view t) { return t == "z"; };
   EXPECT_TRUE(set.BlocksSkip(has_c, true, 2));
   EXPECT_FALSE(set.BlocksSkip(no_c, true, 2));
   EXPECT_FALSE(set.BlocksSkip(has_c, false, 2));
@@ -181,7 +181,7 @@ TEST(ObligationSetTest, BlocksSkipForOpenCaptureAtDepth) {
   ObligationSet set;
   set.Create(&p, 1);
   set.OnOpen("v", 2);  // capture opens at depth 2
-  auto none = [](const std::string&) { return false; };
+  auto none = [](std::string_view) { return false; };
   EXPECT_TRUE(set.BlocksSkip(none, false, 2));   // direct text pending here
   EXPECT_FALSE(set.BlocksSkip(none, false, 3));  // deeper content: no
 }

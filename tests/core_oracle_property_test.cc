@@ -10,6 +10,9 @@
 #include "common/random.h"
 #include "core/evaluator.h"
 #include "core/ref_evaluator.h"
+#include "skipindex/byte_source.h"
+#include "skipindex/codec.h"
+#include "skipindex/filter.h"
 #include "workload/rulegen.h"
 #include "xml/generator.h"
 #include "xml/writer.h"
@@ -46,7 +49,8 @@ uint64_t SeedOffset() {
 
 std::string StreamView(const xml::DomDocument& doc,
                        const std::vector<core::AccessRule>& rules,
-                       const xpath::PathExpr* query, Status* status_out) {
+                       const xpath::PathExpr* query, Status* status_out,
+                       core::EvaluatorStats* stats_out = nullptr) {
   xml::CanonicalWriter out;
   auto ev = core::StreamingEvaluator::Create(rules, query, &out);
   if (!ev.ok()) {
@@ -56,7 +60,17 @@ std::string StreamView(const xml::DomDocument& doc,
   Status st = doc.root()->EmitEvents(ev.value().get());
   if (st.ok()) st = ev.value()->Finish();
   *status_out = st;
+  if (stats_out != nullptr) *stats_out = ev.value()->stats();
   return out.str();
+}
+
+size_t OraclePermittedCount(const xml::DomDocument& doc,
+                            const std::vector<core::AccessRule>& rules) {
+  size_t n = 0;
+  for (bool b : core::AuthorizeAll(doc, rules)) {
+    if (b) ++n;
+  }
+  return n;
 }
 
 TEST_P(OracleAgreement, StreamingMatchesDom) {
@@ -97,8 +111,9 @@ TEST_P(OracleAgreement, StreamingMatchesDom) {
     }
 
     Status st = Status::OK();
+    core::EvaluatorStats stats;
     std::string streamed =
-        StreamView(doc, rules.ForSubject("u"), qptr, &st);
+        StreamView(doc, rules.ForSubject("u"), qptr, &st, &stats);
     ASSERT_TRUE(st.ok()) << st.ToString() << "\nseed=" << seed
                          << "\nrules:\n" << rules.ToText();
     auto ref = core::BuildAuthorizedView(doc, rules.ForSubject("u"), qptr);
@@ -107,6 +122,17 @@ TEST_P(OracleAgreement, StreamingMatchesDom) {
         << "seed=" << seed << "\nrules:\n"
         << rules.ToText()
         << (qptr ? ("query: " + xpath::ToString(*qptr)) : std::string());
+    // Counter invariants, pinned to the DOM oracle: every element decides
+    // exactly once, and (absent a query) the permitted count equals the
+    // reference authorization.
+    EXPECT_EQ(stats.nodes_permitted + stats.nodes_denied,
+              doc.CountElements())
+        << "seed=" << seed;
+    if (!p.with_query) {
+      EXPECT_EQ(stats.nodes_permitted,
+                OraclePermittedCount(doc, rules.ForSubject("u")))
+          << "seed=" << seed << "\nrules:\n" << rules.ToText();
+    }
     if (::testing::Test::HasFailure()) break;
   }
 }
@@ -127,7 +153,13 @@ INSTANTIATE_TEST_SUITE_P(
         // Many rules, heavier conflict interaction.
         PropertyParams{xml::DocProfile::kRandom, 100, 16, 0.3, false, 7000, 20},
         // Deep narrow documents (stack stress).
-        PropertyParams{xml::DocProfile::kRandom, 40, 4, 0.5, true, 8000, 40}),
+        PropertyParams{xml::DocProfile::kRandom, 40, 4, 0.5, true, 8000, 40},
+        // High rule counts: the indexed (rule, state, TagId) dispatch and
+        // dormant-rule suppression are only exercised at this scale.
+        PropertyParams{xml::DocProfile::kRandom, 80, 64, 0.0, false, 9000, 10},
+        PropertyParams{xml::DocProfile::kRandom, 80, 64, 0.3, true, 9100, 8},
+        PropertyParams{xml::DocProfile::kRandom, 60, 128, 0.2, false, 9200,
+                       6}),
     [](const ::testing::TestParamInfo<PropertyParams>& info) {
       const PropertyParams& p = info.param;
       std::string name = xml::DocProfileName(p.profile);
@@ -136,6 +168,129 @@ INSTANTIATE_TEST_SUITE_P(
       name += "_p" + std::to_string(static_cast<int>(p.predicate_prob * 100));
       name += "_s" + std::to_string(p.seed_base);
       return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Skip-index-enabled differential runs: the full encode → decode →
+// RunFiltered path (interned-tag events, BindDocumentTags, subtree skips)
+// against the DOM oracle, with skip-on vs skip-off counter agreement.
+// ---------------------------------------------------------------------------
+
+struct SkipParams {
+  size_t doc_elements;
+  size_t num_rules;
+  double predicate_prob;
+  uint64_t seed_base;
+  int iterations;
+};
+
+class SkipOracleAgreement : public ::testing::TestWithParam<SkipParams> {};
+
+struct FilteredRun {
+  std::string view;
+  core::EvaluatorStats stats;
+  size_t skips = 0;
+};
+
+FilteredRun RunFilteredView(Span encoded,
+                            const std::vector<core::AccessRule>& rules,
+                            bool enable_skip, Status* status_out) {
+  FilteredRun out;
+  skipindex::MemorySource source(encoded);
+  auto dec = skipindex::DocumentDecoder::Open(&source);
+  if (!dec.ok()) {
+    *status_out = dec.status();
+    return out;
+  }
+  xml::CanonicalWriter writer;
+  auto ev = core::StreamingEvaluator::Create(rules, nullptr, &writer);
+  if (!ev.ok()) {
+    *status_out = ev.status();
+    return out;
+  }
+  skipindex::FilterOptions fopts;
+  fopts.enable_skip = enable_skip;
+  skipindex::FilterStats fstats;
+  *status_out =
+      skipindex::RunFiltered(dec.value().get(), ev.value().get(), fopts,
+                             &fstats);
+  out.view = writer.str();
+  out.stats = ev.value()->stats();
+  out.skips = fstats.skips;
+  return out;
+}
+
+TEST_P(SkipOracleAgreement, FilteredStreamMatchesDom) {
+  const SkipParams& p = GetParam();
+  for (int iter = 0; iter < p.iterations; ++iter) {
+    uint64_t seed = p.seed_base + SeedOffset() + static_cast<uint64_t>(iter);
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " (CSXA_SEED_OFFSET=" + std::to_string(SeedOffset()) + ")");
+    xml::GeneratorParams gp;
+    gp.profile = xml::DocProfile::kRandom;
+    gp.target_elements = p.doc_elements;
+    gp.seed = seed;
+    gp.vocabulary = 6;
+    gp.max_depth = 7;
+    xml::DomDocument doc = xml::GenerateDocument(gp);
+    ASSERT_NE(doc.root(), nullptr);
+
+    Rng rng(seed * 6271 + 17);
+    workload::RuleGenParams rp;
+    rp.num_rules = p.num_rules;
+    rp.path.predicate_prob = p.predicate_prob;
+    core::RuleSet rules = workload::GenerateRules(doc, "u", rp, &rng);
+    std::vector<core::AccessRule> subject_rules = rules.ForSubject("u");
+
+    auto encoded = skipindex::EncodeDocument(doc, {});
+    ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+
+    Status st = Status::OK();
+    FilteredRun with_skip =
+        RunFilteredView(Span(encoded.value()), subject_rules, true, &st);
+    ASSERT_TRUE(st.ok()) << st.ToString() << "\nrules:\n" << rules.ToText();
+    FilteredRun no_skip =
+        RunFilteredView(Span(encoded.value()), subject_rules, false, &st);
+    ASSERT_TRUE(st.ok()) << st.ToString() << "\nrules:\n" << rules.ToText();
+
+    auto ref = core::BuildAuthorizedView(doc, subject_rules, nullptr);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    std::string expected = ref.value().Serialize();
+    EXPECT_EQ(with_skip.view, expected)
+        << "seed=" << seed << "\nrules:\n" << rules.ToText();
+    EXPECT_EQ(no_skip.view, expected)
+        << "seed=" << seed << "\nrules:\n" << rules.ToText();
+
+    // Skips never change what is delivered — only what is examined.
+    EXPECT_EQ(with_skip.stats.nodes_permitted, no_skip.stats.nodes_permitted)
+        << "seed=" << seed;
+    EXPECT_LE(with_skip.stats.nodes_denied, no_skip.stats.nodes_denied);
+    EXPECT_LE(with_skip.stats.obligations_created,
+              no_skip.stats.obligations_created);
+    EXPECT_EQ(with_skip.stats.subtrees_skipped, with_skip.skips);
+    // The no-skip run decides every element exactly once.
+    EXPECT_EQ(no_skip.stats.nodes_permitted + no_skip.stats.nodes_denied,
+              doc.CountElements());
+    EXPECT_EQ(no_skip.stats.nodes_permitted,
+              OraclePermittedCount(doc, subject_rules));
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EncodedDocs, SkipOracleAgreement,
+    ::testing::Values(
+        // Baseline mix with predicates (pending machinery + skip safety).
+        SkipParams{80, 6, 0.4, 11000, 12},
+        // Dispatch-index scale: rule counts where the transition index
+        // and dormant-rule suppression carry the load.
+        SkipParams{80, 64, 0.25, 12000, 8},
+        SkipParams{60, 128, 0.0, 13000, 6}),
+    [](const ::testing::TestParamInfo<SkipParams>& info) {
+      const SkipParams& p = info.param;
+      return "r" + std::to_string(p.num_rules) + "_p" +
+             std::to_string(static_cast<int>(p.predicate_prob * 100)) +
+             "_s" + std::to_string(p.seed_base);
     });
 
 }  // namespace
