@@ -47,6 +47,13 @@ int main() {
            Fmt("%.1f%%", 100.0 * rec_stats.IndexOverhead()),
            Fmt("%zu", flat_stats.index_bitmap_bytes),
            Fmt("%.1f%%", 100.0 * flat_stats.IndexOverhead())});
+      JsonReport::Get().AddValue(
+          Fmt("idx_overhead/%s/%zu", xml::DocProfileName(profile), elems),
+          rec_stats.IndexOverhead());
+      JsonReport::Get().AddValue(
+          Fmt("idx_overhead_flat/%s/%zu", xml::DocProfileName(profile),
+              elems),
+          flat_stats.IndexOverhead());
     }
   }
   table.Print();
@@ -71,6 +78,8 @@ int main() {
                    Fmt("%.1f%%", 100.0 * rec_stats.IndexOverhead()),
                    Fmt("%zu", flat_stats.index_bitmap_bytes),
                    Fmt("%.1f%%", 100.0 * flat_stats.IndexOverhead())});
+    JsonReport::Get().AddValue(Fmt("idx_bitmap_bytes/vocab/%zu", vocab),
+                               static_cast<double>(rec_stats.index_bitmap_bytes));
   }
   vtable.Print();
   std::printf("\nexpected shape: recursive compression keeps bitmap cost "

@@ -92,6 +92,12 @@ int main() {
                     Fmt("%llu", (unsigned long long)change.value().bytes_reencrypted),
                     Fmt("%zu", change.value().keys_redistributed),
                     Fmt("%.0fx", ratio)});
+      JsonReport::Get().AddValue(Fmt("csxa_update_bytes/%zu/step%zu",
+                                     elems, i),
+                                 static_cast<double>(sealed.size()));
+      JsonReport::Get().AddValue(
+          Fmt("subset_reenc_bytes/%zu/step%zu", elems, i),
+          static_cast<double>(change.value().bytes_reencrypted));
     }
     table.Print();
     std::printf("\n");

@@ -60,6 +60,8 @@ int main() {
   for (int depth : {4, 8, 16, 32}) {
     size_t peak = PeakForRandomDoc(depth, 6, 0.0, 256, 50 + depth);
     t1.AddRow({Fmt("%d", depth), Fmt("%zu", peak), Verdict(peak)});
+    JsonReport::Get().AddValue(Fmt("ram_peak/depth/%d", depth),
+                               static_cast<double>(peak));
   }
   t1.Print();
 
@@ -68,6 +70,8 @@ int main() {
   for (size_t rules : {2u, 4u, 8u, 16u, 32u}) {
     size_t peak = PeakForRandomDoc(8, rules, 0.0, 256, 80 + rules);
     t2.AddRow({Fmt("%zu", rules), Fmt("%zu", peak), Verdict(peak)});
+    JsonReport::Get().AddValue(Fmt("ram_peak/rules/%zu", rules),
+                               static_cast<double>(peak));
   }
   t2.Print();
 
@@ -77,6 +81,8 @@ int main() {
   for (int p : {0, 25, 50, 75, 100}) {
     size_t peak = PeakForRandomDoc(8, 6, p / 100.0, 256, 120 + p);
     t3.AddRow({Fmt("%d%%", p), Fmt("%zu", peak), Verdict(peak)});
+    JsonReport::Get().AddValue(Fmt("ram_peak/pred/%d", p),
+                               static_cast<double>(peak));
   }
   t3.Print();
 
@@ -86,6 +92,8 @@ int main() {
   for (size_t chunk : {64u, 128u, 256u, 512u, 1024u}) {
     size_t peak = PeakForRandomDoc(8, 6, 0.25, chunk, 200 + chunk);
     t4.AddRow({Fmt("%zu", chunk), Fmt("%zu", peak), Verdict(peak)});
+    JsonReport::Get().AddValue(Fmt("ram_peak/chunk/%zu", chunk),
+                               static_cast<double>(peak));
   }
   t4.Print();
 
@@ -113,6 +121,8 @@ int main() {
     auto out = RunSession(fx, c.subject, "", true);
     t5.AddRow({c.label, c.subject, Fmt("%zu", out.stats.ram_peak),
                Verdict(out.stats.ram_peak)});
+    JsonReport::Get().AddValue(Fmt("ram_peak/scenario/%s", c.label),
+                               static_cast<double>(out.stats.ram_peak));
   }
   t5.Print();
   std::printf("\nexpected shape: RAM grows with depth (stacks) and predicate "

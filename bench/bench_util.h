@@ -49,8 +49,13 @@ inline size_t Smoke(size_t n, size_t cap = 200) {
 /// Add() call records one entry and the report is written on process exit
 /// as a flat JSON object:
 ///
-///   { "<name>": {"time_ns": ..., "events_per_s": ..., "bytes_per_s": ...},
+///   { "<name>": {"time_ns": ..., "events_per_s": ..., "bytes_per_s": ...,
+///                "value": ...},
 ///     ... }
+///
+/// `value` carries series that are not times or rates (modeled RAM peaks,
+/// index overhead fractions, policy-update byte counts); time/rate-shaped
+/// benches leave it 0.
 ///
 /// scripts/bench.sh sets the variable per bench binary; the table output
 /// on stdout stays the human-readable form of the same runs. Without the
@@ -63,9 +68,14 @@ class JsonReport {
   }
 
   void Add(const std::string& name, double time_ns, double events_per_s = 0.0,
-           double bytes_per_s = 0.0) {
+           double bytes_per_s = 0.0, double value = 0.0) {
     if (path_.empty()) return;
-    entries_.push_back(Entry{name, time_ns, events_per_s, bytes_per_s});
+    entries_.push_back(Entry{name, time_ns, events_per_s, bytes_per_s, value});
+  }
+
+  /// Records a value-shaped series (no time/rate component).
+  void AddValue(const std::string& name, double value) {
+    Add(name, 0.0, 0.0, 0.0, value);
   }
 
   /// Writes the report (atexit hook; safe to call when disabled or empty).
@@ -82,9 +92,9 @@ class JsonReport {
       const Entry& e = entries_[i];
       std::fprintf(f,
                    "  \"%s\": {\"time_ns\": %.6g, \"events_per_s\": %.6g, "
-                   "\"bytes_per_s\": %.6g}%s\n",
+                   "\"bytes_per_s\": %.6g, \"value\": %.6g}%s\n",
                    e.name.c_str(), e.time_ns, e.events_per_s, e.bytes_per_s,
-                   i + 1 < entries_.size() ? "," : "");
+                   e.value, i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -104,6 +114,7 @@ class JsonReport {
     double time_ns;
     double events_per_s;
     double bytes_per_s;
+    double value;
   };
   std::string path_;
   std::vector<Entry> entries_;

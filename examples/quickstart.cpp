@@ -7,7 +7,7 @@
 //   terminal  --(key grant)---------------------> card secure storage
 //   app       --Query()--> proxy --APDU--> card --chunks--> DSP
 //
-// Build: cmake --build build && ./build/examples/quickstart
+// Build: cmake --build build && ./build/examples/example_quickstart
 
 #include <cstdio>
 

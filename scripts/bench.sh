@@ -5,9 +5,10 @@
 # for perf tracking. `ctest -L bench-smoke` covers the fast
 # keep-it-running check.
 #
-# Google Benchmark binaries (bench_automaton, bench_crypto) emit JSON via
-# --benchmark_out, converted here; the plain table benches write their own
-# report when CSXA_BENCH_JSON is set (bench/bench_util.h JsonReport).
+# Google Benchmark binaries (bench_automaton, bench_crypto,
+# bench_pipeline) emit JSON via --benchmark_out, converted here; the plain
+# table benches write their own report when CSXA_BENCH_JSON is set
+# (bench/bench_util.h JsonReport).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,6 +39,7 @@ for b in raw.get("benchmarks", []):
         "time_ns": b.get("real_time", 0.0) * scale,
         "events_per_s": b.get("events/s", 0.0),
         "bytes_per_s": b.get("bytes/s", b.get("bytes_per_second", 0.0)),
+        "value": 0.0,
     }
 json.dump(out, open(sys.argv[2], "w"), indent=2)
 print("wrote", sys.argv[2])
@@ -51,7 +53,7 @@ for bin in "$build_dir"/bench/bench_*; do
   short="${name#bench_}"
   echo "== $name"
   case "$name" in
-    bench_automaton|bench_crypto)
+    bench_automaton|bench_crypto|bench_pipeline)
       "$bin" --benchmark_out="bench-out/raw_$name.json" \
              --benchmark_out_format=json | tee "bench-out/$name.txt"
       gbench_to_json "bench-out/raw_$name.json" "bench-out/BENCH_$short.json"

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Docs job: checks every intra-repo markdown link in *.md (recursively,
+# excluding build output) and fails on links whose target file does not
+# exist. External links (http/https/mailto) and pure #anchors are not
+# fetched — this guards the repo's own docs graph, not the internet.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+python3 - <<'EOF'
+import os, re, sys
+
+LINK = re.compile(r'(?<!\!)\[[^\]]*\]\(([^)\s]+)\)')
+SKIP_DIRS = {"build", "bench-out", ".git", ".claude"}
+
+errors = []
+md_files = []
+for root, dirs, files in os.walk("."):
+    dirs[:] = [d for d in dirs if d not in SKIP_DIRS]
+    for f in files:
+        if f.endswith(".md"):
+            md_files.append(os.path.join(root, f))
+
+for path in sorted(md_files):
+    text = open(path, encoding="utf-8").read()
+    # Fenced code blocks routinely contain example-link syntax; skip them.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for m in LINK.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue  # pure anchor
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link -> {m.group(1)}")
+
+for e in errors:
+    print(e, file=sys.stderr)
+if errors:
+    print(f"link check FAILED: {len(errors)} broken link(s) "
+          f"across {len(md_files)} markdown file(s)", file=sys.stderr)
+    sys.exit(1)
+print(f"link check OK: {len(md_files)} markdown files, 0 broken links")
+EOF

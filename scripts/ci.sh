@@ -6,6 +6,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Docs first: a broken intra-repo link fails fast, before the build.
+./scripts/check_links.sh
+
 # -Werror in CI only: the tree is warning-clean and must stay so; local
 # builds keep plain -Wall -Wextra so experiments aren't blocked.
 cmake -B build -S . -DCSXA_WERROR=ON

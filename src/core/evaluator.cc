@@ -6,14 +6,31 @@
 
 namespace csxa::core {
 
+using xml::AttrView;
 using xml::Event;
 using xml::EventType;
+using xml::EventView;
 
 namespace {
 
 // Cap on recycled level vectors / snapshots / pipeline slots; beyond this
 // the pools stop growing and retired storage is simply freed.
 constexpr size_t kMaxPooled = 64;
+
+// Copies borrowed attribute views into an owning vector, reusing the
+// existing elements' string capacity (steady state: no allocation).
+void AssignAttrs(std::vector<xml::Attribute>* dst, const AttrView* attrs,
+                 size_t n) {
+  if (dst->size() > n) dst->resize(n);
+  for (size_t i = 0; i < dst->size(); ++i) {
+    (*dst)[i].name.assign(attrs[i].name);
+    (*dst)[i].value.assign(attrs[i].value);
+  }
+  for (size_t i = dst->size(); i < n; ++i) {
+    dst->push_back(xml::Attribute{std::string(attrs[i].name),
+                                  std::string(attrs[i].value)});
+  }
+}
 
 }  // namespace
 
@@ -123,7 +140,7 @@ void StreamingEvaluator::BindDocumentTags(const Interner& doc_tags) {
   }
 }
 
-TagId StreamingEvaluator::ResolveTag(const xml::Event& event) const {
+TagId StreamingEvaluator::ResolveTag(const xml::EventView& event) const {
   if (event.tag_id != kNoTagId && event.tag_id < doc_to_rule_.size()) {
     return doc_to_rule_[event.tag_id];
   }
@@ -484,6 +501,10 @@ void StreamingEvaluator::ReleaseSnapshot(Snapshot&& snap) {
 }
 
 Status StreamingEvaluator::OnEvent(const Event& event) {
+  return OnEventView(ViewOf(event, &in_attr_scratch_));
+}
+
+Status StreamingEvaluator::OnEventView(const EventView& event) {
   if (finished_) {
     return Status::InvalidArgument("event after end of stream");
   }
@@ -502,23 +523,25 @@ Status StreamingEvaluator::OnEvent(const Event& event) {
 }
 
 StreamingEvaluator::OutEvent StreamingEvaluator::AcquireOut(
-    const xml::Event& event, int depth) {
+    const xml::EventView& event, int depth) {
   OutEvent oe;
   if (!out_pool_.empty()) {
     oe = std::move(out_pool_.back());
     out_pool_.pop_back();
   }
   oe.event.type = event.type;
-  oe.event.name = event.name;
-  oe.event.text = event.text;
-  oe.event.attrs = event.attrs;
+  oe.event.name.assign(event.name);
+  oe.event.text.assign(event.text);
+  AssignAttrs(&oe.event.attrs, event.attrs, event.num_attrs);
   oe.event.tag_id = event.tag_id;
   oe.depth = depth;
   oe.has_snapshot = false;
   oe.decided = false;
   oe.delivered = false;
   oe.modeled = 2 + event.name.size() + event.text.size();
-  for (const auto& a : event.attrs) oe.modeled += a.name.size() + a.value.size();
+  for (size_t i = 0; i < event.num_attrs; ++i) {
+    oe.modeled += event.attrs[i].name.size() + event.attrs[i].value.size();
+  }
   return oe;
 }
 
@@ -535,7 +558,7 @@ void StreamingEvaluator::RecycleOut(OutEvent&& ev) {
   }
 }
 
-Status StreamingEvaluator::HandleOpen(const Event& event) {
+Status StreamingEvaluator::HandleOpen(const EventView& event) {
   ++depth_;
   TagId tag = ResolveTag(event);
   // 1. Existing predicate instances observe the open (they belong to
@@ -580,7 +603,7 @@ Status StreamingEvaluator::HandleOpen(const Event& event) {
   return Status::OK();
 }
 
-Status StreamingEvaluator::HandleValue(const Event& event) {
+Status StreamingEvaluator::HandleValue(const EventView& event) {
   if (depth_ == 0) {
     return Status::InvalidArgument("text event outside any element");
   }
@@ -597,7 +620,7 @@ Status StreamingEvaluator::HandleValue(const Event& event) {
   return Status::OK();
 }
 
-Status StreamingEvaluator::HandleClose(const Event& event) {
+Status StreamingEvaluator::HandleClose(const EventView& event) {
   if (depth_ == 0) {
     return Status::InvalidArgument("close event without open");
   }
@@ -646,13 +669,17 @@ Status StreamingEvaluator::FlushPipeline() {
 }
 
 Status StreamingEvaluator::DispatchToComposer(OutEvent* ev) {
-  switch (ev->event.type) {
+  // Buffered events are owning copies; the composer consumes views, so
+  // bridge through the dispatch scratch (distinct from the OnEvent
+  // bridge's scratch, whose view may still be live up the call stack).
+  EventView view = ViewOf(ev->event, &dispatch_attr_scratch_);
+  switch (view.type) {
     case EventType::kOpen:
-      return ComposeOpen(ev->event, ev->delivered);
+      return ComposeOpen(view, ev->delivered);
     case EventType::kValue:
-      return ComposeValue(ev->event);
+      return ComposeValue(view);
     case EventType::kClose:
-      return ComposeClose(ev->event);
+      return ComposeClose(view);
     case EventType::kEnd:
       return Status::OK();
   }
@@ -660,33 +687,28 @@ Status StreamingEvaluator::DispatchToComposer(OutEvent* ev) {
 }
 
 Status StreamingEvaluator::EmitOpen(const ComposerEntry& entry, bool bare) {
-  scratch_out_.type = EventType::kOpen;
-  scratch_out_.name = entry.tag;
-  scratch_out_.text.clear();
-  if (bare) {
-    scratch_out_.attrs.clear();
-  } else {
-    scratch_out_.attrs = entry.attrs;
+  emit_attr_scratch_.clear();
+  if (!bare) {
+    for (const auto& a : entry.attrs) {
+      emit_attr_scratch_.push_back(AttrView{a.name, a.value});
+    }
   }
-  scratch_out_.tag_id = entry.tag_id;
-  return out_->OnEvent(scratch_out_);
+  return out_->OnEventView(
+      EventView::Open(entry.tag, emit_attr_scratch_.data(),
+                      emit_attr_scratch_.size(), entry.tag_id));
 }
 
 Status StreamingEvaluator::EmitClose(const ComposerEntry& entry) {
-  scratch_out_.type = EventType::kClose;
-  scratch_out_.name = entry.tag;
-  scratch_out_.text.clear();
-  scratch_out_.attrs.clear();
-  scratch_out_.tag_id = entry.tag_id;
-  return out_->OnEvent(scratch_out_);
+  return out_->OnEventView(EventView::Close(entry.tag, entry.tag_id));
 }
 
-Status StreamingEvaluator::ComposeOpen(const Event& event, bool delivered) {
+Status StreamingEvaluator::ComposeOpen(const EventView& event,
+                                       bool delivered) {
   if (composer_size_ == composer_.size()) composer_.emplace_back();
   ComposerEntry& entry = composer_[composer_size_++];
-  entry.tag = event.name;
+  entry.tag.assign(event.name);
   entry.tag_id = event.tag_id;
-  entry.attrs = event.attrs;
+  AssignAttrs(&entry.attrs, event.attrs, event.num_attrs);
   entry.delivered = delivered;
   entry.emitted = false;
   composer_modeled_ += 2 + entry.tag.size();
@@ -711,14 +733,16 @@ Status StreamingEvaluator::EmitScaffolding() {
   return Status::OK();
 }
 
-Status StreamingEvaluator::ComposeValue(const Event& event) {
+Status StreamingEvaluator::ComposeValue(const EventView& event) {
   if (composer_size_ > 0 && composer_[composer_size_ - 1].delivered) {
-    return out_->OnEvent(event);
+    // The zero-copy payoff: delivered text flows producer → sink as a
+    // view, its bytes never copied into a per-event allocation.
+    return out_->OnEventView(event);
   }
   return Status::OK();
 }
 
-Status StreamingEvaluator::ComposeClose(const Event& /*event*/) {
+Status StreamingEvaluator::ComposeClose(const EventView& /*event*/) {
   if (composer_size_ == 0) {
     return Status::Internal("composer close without open");
   }
@@ -743,7 +767,7 @@ Status StreamingEvaluator::Finish() {
                                    std::to_string(depth_) + " at end");
   }
   finished_ = true;
-  return out_->OnEvent(Event::End());
+  return out_->OnEventView(EventView::End());
 }
 
 bool StreamingEvaluator::CanSkipCurrentSubtree(

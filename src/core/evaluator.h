@@ -88,6 +88,11 @@ class StreamingEvaluator : public xml::EventSink {
   /// Feeds the next document event (kEnd finishes the stream).
   Status OnEvent(const xml::Event& event) override;
 
+  /// Borrowed fast path: the evaluator keys on TagId and copies bytes only
+  /// into its pooled buffered-output levels, so a view is consumed in
+  /// place — no per-event materialization anywhere on the permit path.
+  Status OnEventView(const xml::EventView& view) override;
+
   /// Must be called (or an kEnd event fed) after the last event; verifies
   /// that all pending output was resolved and flushed.
   Status Finish();
@@ -227,13 +232,13 @@ class StreamingEvaluator : public xml::EventSink {
 
   StreamingEvaluator() = default;
 
-  Status HandleOpen(const xml::Event& event);
-  Status HandleValue(const xml::Event& event);
-  Status HandleClose(const xml::Event& event);
+  Status HandleOpen(const xml::EventView& event);
+  Status HandleValue(const xml::EventView& event);
+  Status HandleClose(const xml::EventView& event);
 
   // Resolves an event's tag against the rule alphabet (kNoTagId = no
   // literal edge anywhere can match).
-  TagId ResolveTag(const xml::Event& event) const;
+  TagId ResolveTag(const xml::EventView& event) const;
   uint64_t EdgeMask(size_t slot, TagId tag) const {
     return tag == kNoTagId ? 0 : edge_masks_[tag * num_slots_ + slot];
   }
@@ -279,7 +284,7 @@ class StreamingEvaluator : public xml::EventSink {
   // Order-preserving output: append then flush as far as decisions allow.
   Status FlushPipeline();
   Status DispatchToComposer(OutEvent* ev);
-  OutEvent AcquireOut(const xml::Event& event, int depth);
+  OutEvent AcquireOut(const xml::EventView& event, int depth);
   void RecycleOut(OutEvent&& ev);
 
   // --- composer: lazy ancestors / scaffolding ------------------------------
@@ -292,11 +297,12 @@ class StreamingEvaluator : public xml::EventSink {
     bool delivered = false;
     bool emitted = false;
   };
-  Status ComposeOpen(const xml::Event& event, bool delivered);
-  Status ComposeValue(const xml::Event& event);
-  Status ComposeClose(const xml::Event& event);
+  Status ComposeOpen(const xml::EventView& event, bool delivered);
+  Status ComposeValue(const xml::EventView& event);
+  Status ComposeClose(const xml::EventView& event);
   Status EmitScaffolding();
-  // Emits an open/close through a reused scratch event (capacity kept).
+  // Emits an open/close as a view borrowing the composer entry's strings
+  // (valid for the duration of the sink call).
   Status EmitOpen(const ComposerEntry& entry, bool bare);
   Status EmitClose(const ComposerEntry& entry);
 
@@ -325,7 +331,12 @@ class StreamingEvaluator : public xml::EventSink {
   std::deque<OutEvent> pipeline_;
   std::vector<ComposerEntry> composer_;
   size_t composer_size_ = 0;
-  xml::Event scratch_out_;  // reused for composed opens/closes
+  // Attribute-view scratch, one per borrow site so a view built for an
+  // incoming event is never clobbered while still live: OnEvent's
+  // owning→view bridge, pipeline dispatch, and composer emission.
+  std::vector<xml::AttrView> in_attr_scratch_;
+  std::vector<xml::AttrView> dispatch_attr_scratch_;
+  std::vector<xml::AttrView> emit_attr_scratch_;
   // Decision for the innermost open element (used by CanSkipCurrentSubtree).
   DecisionResult last_open_decision_;
   bool last_open_decided_definitively_ = false;

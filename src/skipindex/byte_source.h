@@ -24,6 +24,17 @@ class ByteSource {
 
   /// Reads exactly `n` bytes into `buf`; IoError if the stream ends first.
   virtual Status ReadExact(uint8_t* buf, size_t n) = 0;
+  /// Zero-copy read: when the next `n` bytes are contiguous in a buffer
+  /// the source already owns, returns a pointer to them and advances the
+  /// cursor; otherwise returns nullptr and the cursor is unchanged (the
+  /// caller falls back to ReadExact, which also surfaces any I/O error).
+  /// The pointer is invalidated by the next ReadExact/Skip/View call that
+  /// refills the source's buffer — the document decoder therefore only
+  /// hands such views out for the duration of one event.
+  virtual const uint8_t* View(size_t n) {
+    (void)n;
+    return nullptr;
+  }
   /// Advances the cursor `n` bytes without necessarily materializing them.
   virtual Status Skip(uint64_t n) = 0;
   /// Absolute cursor position.
@@ -44,6 +55,13 @@ class MemorySource : public ByteSource {
     std::memcpy(buf, data_.data() + pos_, n);
     pos_ += n;
     return Status::OK();
+  }
+  const uint8_t* View(size_t n) override {
+    // The whole stream is one stable buffer: every read is zero-copy.
+    if (data_.size() - pos_ < n) return nullptr;
+    const uint8_t* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
   }
   Status Skip(uint64_t n) override {
     if (data_.size() - pos_ < n) {

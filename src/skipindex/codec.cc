@@ -208,6 +208,25 @@ Result<std::string> DocumentDecoder::ReadString() {
   return s;
 }
 
+Result<std::string_view> DocumentDecoder::ReadStringView(bool borrow,
+                                                         std::string* scratch) {
+  uint64_t len;
+  CSXA_RETURN_IF_ERROR(ReadVarint(&len));
+  if (len > (1u << 26)) return Status::ParseError("oversized string");
+  if (len == 0) return std::string_view();
+  if (borrow) {
+    const uint8_t* p = source_->View(static_cast<size_t>(len));
+    if (p != nullptr) {
+      return std::string_view(reinterpret_cast<const char*>(p),
+                              static_cast<size_t>(len));
+    }
+  }
+  scratch->resize(static_cast<size_t>(len));
+  CSXA_RETURN_IF_ERROR(source_->ReadExact(
+      reinterpret_cast<uint8_t*>(scratch->data()), static_cast<size_t>(len)));
+  return std::string_view(*scratch);
+}
+
 Result<std::unique_ptr<DocumentDecoder>> DocumentDecoder::Open(
     ByteSource* source) {
   auto dec = std::unique_ptr<DocumentDecoder>(new DocumentDecoder());
@@ -236,14 +255,14 @@ Result<std::unique_ptr<DocumentDecoder>> DocumentDecoder::Open(
   return dec;
 }
 
-Result<xml::Event> DocumentDecoder::Next() {
-  if (done_) return xml::Event::End();
+Result<xml::EventView> DocumentDecoder::NextView() {
+  if (done_) return xml::EventView::End();
   if (depth_ == 0 && root_closed_) {
     if (!source_->AtEnd()) {
       return Status::ParseError("trailing bytes after document root");
     }
     done_ = true;
-    return xml::Event::End();
+    return xml::EventView::End();
   }
   uint8_t tok;
   CSXA_RETURN_IF_ERROR(ReadByte(&tok));
@@ -256,18 +275,22 @@ Result<xml::Event> DocumentDecoder::Next() {
       }
       CSXA_RETURN_IF_ERROR(ReadVarint(&nattrs));
       if (nattrs > 1024) return Status::ParseError("too many attributes");
-      std::vector<xml::Attribute> attrs;
-      attrs.reserve(nattrs);
+      // Attribute values go through scratch, not a source borrow: the
+      // index metadata reads below would invalidate a chunk-buffer view
+      // mid-event. Names borrow from the dictionary (stable).
+      attr_views_.clear();
+      if (attr_vals_.size() < nattrs) attr_vals_.resize(nattrs);
       for (uint64_t i = 0; i < nattrs; ++i) {
         uint64_t name_id;
         CSXA_RETURN_IF_ERROR(ReadVarint(&name_id));
         if (name_id >= attr_dict_.size()) {
           return Status::ParseError("attribute id out of range");
         }
-        CSXA_ASSIGN_OR_RETURN(std::string value, ReadString());
-        attrs.push_back(
-            xml::Attribute{attr_dict_.Name(static_cast<uint32_t>(name_id)),
-                           std::move(value)});
+        CSXA_ASSIGN_OR_RETURN(
+            std::string_view value,
+            ReadStringView(/*borrow=*/false, &attr_vals_[i]));
+        attr_views_.push_back(xml::AttrView{
+            attr_dict_.Name(static_cast<uint32_t>(name_id)), value});
       }
       last_content_size_ = 0;
       last_has_elements_ = false;
@@ -310,14 +333,19 @@ Result<xml::Event> DocumentDecoder::Next() {
       open_tag_ids_.push_back(static_cast<uint32_t>(tag_id));
       ++depth_;
       just_opened_ = true;
-      return xml::Event::Open(tag_dict_.Name(static_cast<uint32_t>(tag_id)),
-                              std::move(attrs), static_cast<TagId>(tag_id));
+      return xml::EventView::Open(
+          tag_dict_.Name(static_cast<uint32_t>(tag_id)), attr_views_.data(),
+          attr_views_.size(), static_cast<TagId>(tag_id));
     }
     case kTokValue: {
       just_opened_ = false;
       if (depth_ == 0) return Status::ParseError("value outside root");
-      CSXA_ASSIGN_OR_RETURN(std::string text, ReadString());
-      return xml::Event::Value(std::move(text));
+      // The text bytes are the event's last read: borrow them straight
+      // from the source's buffer when contiguous (zero-copy for the
+      // dominant byte share of a document).
+      CSXA_ASSIGN_OR_RETURN(std::string_view text,
+                            ReadStringView(/*borrow=*/true, &text_scratch_));
+      return xml::EventView::Value(text);
     }
     case kTokClose: {
       just_opened_ = false;
@@ -327,11 +355,16 @@ Result<xml::Event> DocumentDecoder::Next() {
       tagset_stack_.pop_back();
       --depth_;
       if (depth_ == 0) root_closed_ = true;
-      return xml::Event::Close(tag_dict_.Name(tag_id), tag_id);
+      return xml::EventView::Close(tag_dict_.Name(tag_id), tag_id);
     }
     default:
       return Status::ParseError("unknown token in document stream");
   }
+}
+
+Result<xml::Event> DocumentDecoder::Next() {
+  CSXA_ASSIGN_OR_RETURN(xml::EventView v, NextView());
+  return v.Materialize();
 }
 
 bool DocumentDecoder::SubtreeHasTag(std::string_view tag) const {

@@ -27,6 +27,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bytes.h"
@@ -80,7 +81,17 @@ class DocumentDecoder {
   /// Reads and validates the header and dictionaries.
   static Result<std::unique_ptr<DocumentDecoder>> Open(ByteSource* source);
 
-  /// Pulls the next event. Returns kEnd exactly once at end of stream.
+  /// Pulls the next event as a borrowed view — the SOE's zero-copy fast
+  /// path. Tag and attribute names borrow from the decoder's dictionaries
+  /// (stable for its lifetime); text borrows straight from the source's
+  /// chunk buffer when the bytes are contiguous (`ByteSource::View`),
+  /// falling back to a reused scratch buffer otherwise; attribute values
+  /// land in reused scratch. Everything except the dictionary names is
+  /// invalidated by the next Next()/NextView() call.
+  Result<xml::EventView> NextView();
+
+  /// Owning convenience: NextView() materialized. Returns kEnd exactly
+  /// once at end of stream.
   Result<xml::Event> Next();
 
   /// True if the format embeds the skip index.
@@ -114,6 +125,10 @@ class DocumentDecoder {
   Status ReadVarint(uint64_t* v);
   Status ReadByte(uint8_t* b);
   Result<std::string> ReadString();
+  // Borrowed read of a length-prefixed string. With `borrow` the bytes
+  // may alias the source's internal buffer (only safe for the last read
+  // of an event); otherwise they are copied into `scratch`.
+  Result<std::string_view> ReadStringView(bool borrow, std::string* scratch);
 
   ByteSource* source_ = nullptr;
   TagDictionary tag_dict_;
@@ -133,6 +148,14 @@ class DocumentDecoder {
   // Stack of subtree tag sets (sorted tag-id lists); back() is the set of
   // the innermost open element. Root base is the full dictionary.
   std::vector<std::vector<uint32_t>> tagset_stack_;
+
+  // Per-event borrowed storage (NextView), reused across events so the
+  // steady-state decode loop performs no allocation. attr_vals_ never
+  // shrinks: views into its strings stay valid while attr_views_ is
+  // (re)built within one event.
+  std::vector<xml::AttrView> attr_views_;
+  std::vector<std::string> attr_vals_;
+  std::string text_scratch_;
 };
 
 }  // namespace csxa::skipindex

@@ -9,8 +9,11 @@ Status RunFiltered(DocumentDecoder* decoder,
   // the evaluator dispatches on integers without per-event name lookups.
   evaluator->BindDocumentTags(decoder->tags());
   for (;;) {
-    CSXA_ASSIGN_OR_RETURN(xml::Event event, decoder->Next());
-    CSXA_RETURN_IF_ERROR(evaluator->OnEvent(event));
+    // Borrowed fast path: the decoder's views flow into the evaluator
+    // without materializing an owning event; they die when OnEventView
+    // returns (the skip probe below only reads decoder metadata).
+    CSXA_ASSIGN_OR_RETURN(xml::EventView event, decoder->NextView());
+    CSXA_RETURN_IF_ERROR(evaluator->OnEventView(event));
     if (options.on_event) {
       CSXA_RETURN_IF_ERROR(options.on_event());
     }

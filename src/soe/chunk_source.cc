@@ -52,6 +52,19 @@ Status ChunkSource::ReadExact(uint8_t* buf, size_t n) {
   return Status::OK();
 }
 
+const uint8_t* ChunkSource::View(size_t n) {
+  if (n == 0 || header_.payload_size - pos_ < n) return nullptr;
+  uint32_t first = static_cast<uint32_t>(pos_ / header_.chunk_size);
+  uint32_t last = static_cast<uint32_t>((pos_ + n - 1) / header_.chunk_size);
+  if (first != last) return nullptr;  // crosses chunks: caller copies
+  if (!EnsureChunk(first).ok()) {
+    return nullptr;  // fall back to ReadExact, which surfaces the error
+  }
+  size_t off = static_cast<size_t>(pos_ % header_.chunk_size);
+  pos_ += n;
+  return buf_.data() + off;
+}
+
 Status ChunkSource::Skip(uint64_t n) {
   if (header_.payload_size - pos_ < n) {
     return Status::IoError("skip past end of container payload");

@@ -53,6 +53,12 @@ class ChunkSource : public skipindex::ByteSource {
               CostModel* cost, bool charge_transfer = true);
 
   Status ReadExact(uint8_t* buf, size_t n) override;
+  /// Zero-copy read into the current chunk's plaintext buffer: succeeds
+  /// when the range lies within a single chunk (fetching it if needed).
+  /// The pointer is invalidated by the next chunk fetch, i.e. at the
+  /// earliest by the next read that leaves this chunk — within the
+  /// decoder's one-event borrow discipline that is always safe.
+  const uint8_t* View(size_t n) override;
   Status Skip(uint64_t n) override;
   uint64_t position() const override { return pos_; }
   bool AtEnd() const override { return pos_ >= header_.payload_size; }

@@ -69,15 +69,26 @@ int DomNode::MaxDepth() const {
 }
 
 Status DomNode::EmitEvents(EventSink* sink, Interner* tags) const {
+  std::vector<AttrView> attr_scratch;
+  return EmitEventsImpl(sink, tags, &attr_scratch);
+}
+
+Status DomNode::EmitEventsImpl(EventSink* sink, Interner* tags,
+                               std::vector<AttrView>* attr_scratch) const {
   if (is_text()) {
-    return sink->OnEvent(Event::Value(text_));
+    return sink->OnEventView(EventView::Value(text_));
   }
   TagId id = tags != nullptr ? tags->Intern(tag_) : kNoTagId;
-  CSXA_RETURN_IF_ERROR(sink->OnEvent(Event::Open(tag_, attrs_, id)));
-  for (const auto& c : children_) {
-    CSXA_RETURN_IF_ERROR(c->EmitEvents(sink, tags));
+  attr_scratch->clear();
+  for (const Attribute& a : attrs_) {
+    attr_scratch->push_back(AttrView{a.name, a.value});
   }
-  return sink->OnEvent(Event::Close(tag_, id));
+  CSXA_RETURN_IF_ERROR(sink->OnEventView(EventView::Open(
+      tag_, attr_scratch->data(), attr_scratch->size(), id)));
+  for (const auto& c : children_) {
+    CSXA_RETURN_IF_ERROR(c->EmitEventsImpl(sink, tags, attr_scratch));
+  }
+  return sink->OnEventView(EventView::Close(tag_, id));
 }
 
 void DomNode::CollectElements(std::vector<const DomNode*>* out) const {
@@ -147,9 +158,19 @@ std::string DomDocument::SerializePretty() const {
 }
 
 Status DomBuilder::OnEvent(const Event& event) {
+  return OnEventView(ViewOf(event, &attr_scratch_));
+}
+
+Status DomBuilder::OnEventView(const EventView& event) {
   switch (event.type) {
     case EventType::kOpen: {
-      auto node = DomNode::Element(event.name, event.attrs);
+      std::vector<Attribute> attrs;
+      attrs.reserve(event.num_attrs);
+      for (size_t i = 0; i < event.num_attrs; ++i) {
+        attrs.push_back(Attribute{std::string(event.attrs[i].name),
+                                  std::string(event.attrs[i].value)});
+      }
+      auto node = DomNode::Element(std::string(event.name), std::move(attrs));
       if (open_stack_.empty()) {
         if (root_) {
           return Status::ParseError("multiple root elements in event stream");
@@ -165,7 +186,7 @@ Status DomBuilder::OnEvent(const Event& event) {
       if (open_stack_.empty()) {
         return Status::ParseError("text event outside any element");
       }
-      open_stack_.back()->AddText(event.text);
+      open_stack_.back()->AddText(std::string(event.text));
       return Status::OK();
     }
     case EventType::kClose: {
@@ -175,7 +196,7 @@ Status DomBuilder::OnEvent(const Event& event) {
       if (open_stack_.back()->tag() != event.name) {
         return Status::ParseError("close event tag mismatch: expected " +
                                   open_stack_.back()->tag() + " got " +
-                                  event.name);
+                                  std::string(event.name));
       }
       open_stack_.pop_back();
       return Status::OK();

@@ -71,7 +71,10 @@ class DomNode {
   int MaxDepth() const;
 
   /// Pre-order walk emitting open/value/close events into `sink`
-  /// (no trailing kEnd). With `tags`, every open/close event carries the
+  /// (no trailing kEnd). Events are delivered as borrowed views over the
+  /// DOM's own strings (`OnEventView`): view-aware sinks consume them
+  /// zero-copy, plain sinks receive materialized copies via the default
+  /// forwarding. With `tags`, every open/close event carries the
   /// interner's id for its tag, so id-dispatching consumers (the streaming
   /// evaluator after BindDocumentTags) skip per-event name lookups.
   Status EmitEvents(EventSink* sink, Interner* tags = nullptr) const;
@@ -81,6 +84,9 @@ class DomNode {
 
  private:
   DomNode() = default;
+
+  Status EmitEventsImpl(EventSink* sink, Interner* tags,
+                        std::vector<AttrView>* attr_scratch) const;
 
   Kind kind_ = Kind::kElement;
   std::string tag_;
@@ -129,6 +135,9 @@ class DomDocument {
 class DomBuilder : public EventSink {
  public:
   Status OnEvent(const Event& event) override;
+  /// Borrowed fast path: nodes copy out of the view directly, skipping
+  /// the intermediate owning Event a default sink would materialize.
+  Status OnEventView(const EventView& view) override;
 
   /// True once the root element has closed (or nothing was ever opened).
   bool complete() const { return open_stack_.empty(); }
@@ -138,6 +147,7 @@ class DomBuilder : public EventSink {
  private:
   std::unique_ptr<DomNode> root_;
   std::vector<DomNode*> open_stack_;
+  std::vector<AttrView> attr_scratch_;  // OnEvent → OnEventView bridge
 };
 
 }  // namespace csxa::xml

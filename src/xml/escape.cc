@@ -5,6 +5,12 @@ namespace csxa::xml {
 std::string Escape(std::string_view raw) {
   std::string out;
   out.reserve(raw.size());
+  AppendEscaped(raw, &out);
+  return out;
+}
+
+void AppendEscaped(std::string_view raw, std::string* outp) {
+  std::string& out = *outp;
   for (char c : raw) {
     switch (c) {
       case '&':
@@ -26,12 +32,17 @@ std::string Escape(std::string_view raw) {
         out.push_back(c);
     }
   }
-  return out;
 }
 
 Result<std::string> Unescape(std::string_view escaped) {
   std::string out;
   out.reserve(escaped.size());
+  CSXA_RETURN_IF_ERROR(AppendUnescaped(escaped, &out));
+  return out;
+}
+
+Status AppendUnescaped(std::string_view escaped, std::string* outp) {
+  std::string& out = *outp;
   for (size_t i = 0; i < escaped.size(); ++i) {
     if (escaped[i] != '&') {
       out.push_back(escaped[i]);
@@ -102,7 +113,7 @@ Result<std::string> Unescape(std::string_view escaped) {
     }
     i = semi;
   }
-  return out;
+  return Status::OK();
 }
 
 }  // namespace csxa::xml

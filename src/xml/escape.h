@@ -14,9 +14,18 @@ namespace csxa::xml {
 /// Escapes &, <, >, ", ' for safe inclusion in text or attribute values.
 std::string Escape(std::string_view raw);
 
+/// Append-style Escape: writes into `out` without a temporary string, so
+/// hot writers keep one growing buffer (the zero-copy pipeline's sink
+/// side).
+void AppendEscaped(std::string_view raw, std::string* out);
+
 /// Resolves the five predefined entities plus decimal/hex character
 /// references. Unknown entities are a ParseError.
 Result<std::string> Unescape(std::string_view escaped);
+
+/// Append-style Unescape: appends the resolved text to `out` (which is
+/// not cleared), so the parser reuses scratch buffers across events.
+Status AppendUnescaped(std::string_view escaped, std::string* out);
 
 }  // namespace csxa::xml
 

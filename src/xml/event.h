@@ -10,17 +10,30 @@
 /// the open event; the XPath fragment XP{[],*,//} does not address them, so
 /// they inherit their element's authorization.
 ///
-/// Events carry an optional interned `TagId` (common/interner.h) assigned
-/// by their producer: the document decoder emits its dictionary's ids
+/// Two representations exist:
+///
+///  - `Event` **owns** its strings. Recorded owning streams stay valid
+///    after their producer is gone; short tags sit in SSO storage.
+///  - `EventView` **borrows**: tag/text are `std::string_view` slices of a
+///    producer-owned buffer (the parser's input, the decoder's chunk
+///    scratch, a DOM node's strings, or an `EventArena`). Views are only
+///    valid until the producer's next event — consumers that must retain
+///    one call `Materialize()` (→ owning `Event`) or record it into an
+///    `EventArena` they control. This is the pipeline's zero-copy fast
+///    path: a text event flows parser/decoder → evaluator → writer without
+///    its bytes ever being copied into a per-event allocation.
+///
+/// Both carry an optional interned `TagId` (common/interner.h) assigned by
+/// their producer: the document decoder emits its dictionary's ids
 /// natively, and the parser / DOM emitter fill them in when handed an
 /// interner. Consumers that dispatch per tag (the evaluator above all)
-/// translate the producer id once and then work on integers; `name`/`text`
-/// remain owned strings so recorded event streams stay valid after their
-/// producer is gone (short tags sit in SSO storage, so ownership costs no
-/// heap traffic on the hot path).
+/// translate the producer id once and then work on integers. The id is
+/// advisory: equality ignores it.
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/interner.h"
@@ -28,12 +41,20 @@
 
 namespace csxa::xml {
 
-/// One attribute of a start-element event.
+/// One attribute of a start-element event (owning form).
 struct Attribute {
   std::string name;
   std::string value;
 
   bool operator==(const Attribute&) const = default;
+};
+
+/// One attribute of a start-element event (borrowed form).
+struct AttrView {
+  std::string_view name;
+  std::string_view value;
+
+  bool operator==(const AttrView&) const = default;
 };
 
 /// Event kinds raised by the parser.
@@ -48,7 +69,7 @@ enum class EventType : uint8_t {
   kEnd = 3,
 };
 
-/// \brief A single parsing event (open / value / close / end).
+/// \brief A single parsing event (open / value / close / end), owning form.
 struct Event {
   EventType type = EventType::kEnd;
   std::string name;               ///< Tag name for kOpen / kClose.
@@ -90,15 +111,157 @@ struct Event {
   }
 };
 
+/// \brief A single parsing event, borrowed form.
+///
+/// All views (including `attrs[i].name/value`) point into storage owned by
+/// the producer; unless documented otherwise they are invalidated by the
+/// producer's next event, its destruction, or — for arena-backed streams —
+/// `EventArena::Reset()`.
+struct EventView {
+  EventType type = EventType::kEnd;
+  std::string_view name;          ///< Tag name for kOpen / kClose.
+  std::string_view text;          ///< Character data for kValue.
+  const AttrView* attrs = nullptr;  ///< Attributes for kOpen.
+  size_t num_attrs = 0;
+  /// Advisory producer-assigned interned id of `name`; equality ignores it.
+  TagId tag_id = kNoTagId;
+
+  static EventView Open(std::string_view tag, const AttrView* attrs = nullptr,
+                        size_t num_attrs = 0, TagId id = kNoTagId) {
+    EventView v;
+    v.type = EventType::kOpen;
+    v.name = tag;
+    v.attrs = attrs;
+    v.num_attrs = num_attrs;
+    v.tag_id = id;
+    return v;
+  }
+  static EventView Value(std::string_view text) {
+    EventView v;
+    v.type = EventType::kValue;
+    v.text = text;
+    return v;
+  }
+  static EventView Close(std::string_view tag, TagId id = kNoTagId) {
+    EventView v;
+    v.type = EventType::kClose;
+    v.name = tag;
+    v.tag_id = id;
+    return v;
+  }
+  static EventView End() { return EventView{}; }
+
+  /// Escape hatch: deep-copies the borrowed bytes into an owning Event
+  /// that survives the producer. The advisory tag_id is preserved.
+  Event Materialize() const;
+
+  /// Structural equality (tag_id excluded), mirroring Event::operator==.
+  bool operator==(const EventView& o) const {
+    if (type != o.type || name != o.name || text != o.text ||
+        num_attrs != o.num_attrs) {
+      return false;
+    }
+    for (size_t i = 0; i < num_attrs; ++i) {
+      if (!(attrs[i] == o.attrs[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Builds a borrowed view over an owning event. `attr_scratch` (cleared
+/// first) receives the attribute views and must outlive every use of the
+/// returned view; the event itself must outlive it too.
+EventView ViewOf(const Event& e, std::vector<AttrView>* attr_scratch);
+
+/// \brief Bump allocator owning the bytes behind a recorded borrowed
+/// stream.
+///
+/// The explicit-ownership companion of `EventView`: producers (or
+/// consumers that must retain events past a producer's lifetime) copy the
+/// borrowed bytes into an arena once, and every view handed back borrows
+/// from the arena instead. One arena serves a whole recorded stream, so
+/// the per-event cost is a bump-pointer copy, never a per-string
+/// allocation.
+///
+/// Ownership rules (see src/xml/README.md):
+///  - views returned by Copy()/CopyAttrs()/Record() are valid until
+///    Reset() or destruction — *not* invalidated by later arena use;
+///  - Reset() keeps the largest block for reuse but invalidates every
+///    outstanding view;
+///  - the arena never shrinks while views are live; Materialize() remains
+///    the escape hatch for single events that must outlive the arena.
+class EventArena {
+ public:
+  EventArena() = default;
+  EventArena(const EventArena&) = delete;
+  EventArena& operator=(const EventArena&) = delete;
+  // Movable: blocks live on the heap, so outstanding views survive a move
+  // (RecordedEvents relies on this to be returnable by value).
+  EventArena(EventArena&&) = default;
+  EventArena& operator=(EventArena&&) = default;
+
+  /// Copies `s` into the arena; the returned view lives until Reset().
+  std::string_view Copy(std::string_view s);
+  /// Copies `n` attribute views (array and backing strings) into the
+  /// arena; the returned array lives until Reset().
+  const AttrView* CopyAttrs(const AttrView* attrs, size_t n);
+  /// Deep-copies a borrowed event into the arena and returns a view of
+  /// the arena-owned copy (the recorded stream's unit operation).
+  EventView Record(const EventView& v);
+
+  /// Invalidates every outstanding view; keeps the largest block.
+  void Reset();
+  /// Bytes handed out so far (excludes block slack).
+  size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  char* Allocate(size_t n, size_t align);
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t cap = 0;
+    size_t used = 0;
+  };
+  static constexpr size_t kMinBlock = 4096;
+  // Growth ceiling: blocks double up to this; larger single allocations
+  // get a dedicated exact-size block.
+  static constexpr size_t kMaxBlock = 65536;
+  std::vector<Block> blocks_;
+  size_t bytes_used_ = 0;
+};
+
+/// \brief A recorded borrowed event stream: a vector of views plus the
+/// arena that owns their bytes. The parse-into-arena and record-and-replay
+/// paths both return this.
+struct RecordedEvents {
+  EventArena arena;
+  std::vector<EventView> events;
+
+  /// Deep-copies `v` into the arena and appends the arena-backed view.
+  void Append(const EventView& v) { events.push_back(arena.Record(v)); }
+};
+
 /// \brief Consumer interface for event streams.
 ///
 /// Implementations include the access-control evaluator, the canonical
-/// writer and the document encoder.
+/// writer and the document encoder. Sinks receive events through one of
+/// two entry points:
+///  - OnEvent(const Event&): owning events, always available;
+///  - OnEventView(const EventView&): the borrowed fast path. The default
+///    implementation materializes and forwards to OnEvent(), so every
+///    sink accepts borrowed streams; hot sinks override it to consume the
+///    views in place (the borrowed contract: views die when the call
+///    returns).
 class EventSink {
  public:
   virtual ~EventSink() = default;
   /// Receives the next event. Returning a non-OK status aborts the stream.
   virtual Status OnEvent(const Event& event) = 0;
+  /// Borrowed fast path; views are valid only for the duration of the
+  /// call. Default: materialize and forward to OnEvent().
+  virtual Status OnEventView(const EventView& view) {
+    return OnEvent(view.Materialize());
+  }
 };
 
 }  // namespace csxa::xml

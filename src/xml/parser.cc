@@ -15,7 +15,7 @@ bool IsNameChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
          c == '-' || c == '.';
 }
-bool IsAllWhitespace(const std::string& s) {
+bool IsAllWhitespace(std::string_view s) {
   for (char c : s) {
     if (!std::isspace(static_cast<unsigned char>(c))) return false;
   }
@@ -25,6 +25,13 @@ bool IsAllWhitespace(const std::string& s) {
 
 PullParser::PullParser(std::string input, ParserOptions options)
     : input_(std::move(input)), options_(options) {}
+
+std::string* PullParser::NewScratch() {
+  if (scratch_used_ == scratch_.size()) scratch_.emplace_back();
+  std::string* s = &scratch_[scratch_used_++];
+  s->clear();
+  return s;
+}
 
 bool PullParser::Lookahead(const char* s) const {
   size_t n = std::strlen(s);
@@ -94,7 +101,7 @@ Result<std::string_view> PullParser::ParseName() {
   return std::string_view(input_).substr(start, pos_ - start);
 }
 
-Result<std::string> PullParser::ParseAttrValue() {
+Result<std::string_view> PullParser::ParseAttrValue() {
   if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
     return Error("expected quoted attribute value");
   }
@@ -108,13 +115,17 @@ Result<std::string> PullParser::ParseAttrValue() {
   if (AtEnd()) return Error("unterminated attribute value");
   std::string_view raw = std::string_view(input_).substr(start, pos_ - start);
   Advance();  // closing quote
-  return Unescape(raw);
+  if (raw.find('&') == std::string_view::npos) {
+    return raw;  // zero-copy: slice of input_
+  }
+  std::string* s = NewScratch();
+  CSXA_RETURN_IF_ERROR(AppendUnescaped(raw, s));
+  return std::string_view(*s);
 }
 
-Result<Event> PullParser::ParseOpenTag() {
-  // Cursor is just past '<'.
+Result<EventView> PullParser::ParseOpenTag() {
+  // Cursor is just past '<'. attr_views_ was cleared by NextView().
   CSXA_ASSIGN_OR_RETURN(std::string_view name, ParseName());
-  std::vector<Attribute> attrs;
   for (;;) {
     while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
     if (AtEnd()) return Error("unterminated start tag");
@@ -122,27 +133,28 @@ Result<Event> PullParser::ParseOpenTag() {
       Advance();
       open_tags_.push_back(name);
       ++depth_;
-      return Event::Open(std::string(name), std::move(attrs), InternTag(name));
+      return EventView::Open(name, attr_views_.data(), attr_views_.size(),
+                             InternTag(name));
     }
     if (Lookahead("/>")) {
       pos_ += 2;
       pending_close_ = true;
       pending_close_name_ = name;
       pending_close_id_ = InternTag(name);
-      return Event::Open(std::string(name), std::move(attrs),
-                         pending_close_id_);
+      return EventView::Open(name, attr_views_.data(), attr_views_.size(),
+                             pending_close_id_);
     }
     CSXA_ASSIGN_OR_RETURN(std::string_view attr_name, ParseName());
     while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
     if (AtEnd() || Peek() != '=') return Error("expected '=' after attribute name");
     Advance();
     while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
-    CSXA_ASSIGN_OR_RETURN(std::string value, ParseAttrValue());
-    attrs.push_back(Attribute{std::string(attr_name), std::move(value)});
+    CSXA_ASSIGN_OR_RETURN(std::string_view value, ParseAttrValue());
+    attr_views_.push_back(AttrView{attr_name, value});
   }
 }
 
-Result<Event> PullParser::ParseCloseTag() {
+Result<EventView> PullParser::ParseCloseTag() {
   // Cursor is just past "</".
   CSXA_ASSIGN_OR_RETURN(std::string_view name, ParseName());
   while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
@@ -154,27 +166,30 @@ Result<Event> PullParser::ParseCloseTag() {
   open_tags_.pop_back();
   --depth_;
   if (depth_ == 0) done_ = true;
-  return Event::Close(std::string(name), InternTag(name));
+  return EventView::Close(name, InternTag(name));
 }
 
-Result<Event> PullParser::Next() {
+Result<EventView> PullParser::NextView() {
+  // Views from the previous event die here.
+  attr_views_.clear();
+  scratch_used_ = 0;
   if (pending_close_) {
     pending_close_ = false;
     if (depth_ == 0) done_ = true;
-    return Event::Close(std::string(pending_close_name_), pending_close_id_);
+    return EventView::Close(pending_close_name_, pending_close_id_);
   }
   for (;;) {
     if (done_) {
       // Only trailing misc is allowed after the root element.
       CSXA_RETURN_IF_ERROR(SkipMisc());
       if (!AtEnd()) return Error("content after document root");
-      return Event::End();
+      return EventView::End();
     }
     if (depth_ == 0) {
       CSXA_RETURN_IF_ERROR(SkipMisc());
       if (AtEnd()) {
         if (!root_seen_) return Error("no root element");
-        return Event::End();
+        return EventView::End();
       }
       if (Peek() != '<') return Error("text outside root element");
       Advance();
@@ -183,22 +198,42 @@ Result<Event> PullParser::Next() {
       root_seen_ = true;
       return ParseOpenTag();
     }
-    // Inside the root: gather text until markup.
-    std::string text;
+    // Inside the root: gather text until markup. `direct` holds the text
+    // as a raw input slice while a single unescaped chunk suffices (the
+    // common case — no copy); `acc` takes over once escaping or
+    // coalescing across chunks forces materialization into scratch.
+    std::string_view direct;
+    std::string* acc = nullptr;
+    bool have_text = false;
+    auto force_acc = [&]() {
+      if (acc == nullptr) {
+        acc = NewScratch();
+        acc->append(direct);
+        direct = {};
+      }
+    };
     for (;;) {
       if (AtEnd()) return Error("unexpected end of input inside element");
       if (Peek() == '<') {
         if (Lookahead("<!--")) {
           pos_ += 4;
           CSXA_RETURN_IF_ERROR(SkipComment());
-          if (options_.coalesce_text) continue;
+          continue;
         } else if (Lookahead("<![CDATA[")) {
           pos_ += 9;
           size_t start = pos_;
           while (!AtEnd() && !Lookahead("]]>")) Advance();
           if (AtEnd()) return Error("unterminated CDATA section");
-          text.append(input_, start, pos_ - start);
+          std::string_view raw =
+              std::string_view(input_).substr(start, pos_ - start);
           pos_ += 3;
+          if (!have_text && acc == nullptr) {
+            direct = raw;  // CDATA needs no unescaping
+          } else {
+            force_acc();
+            acc->append(raw);
+          }
+          have_text = true;
           continue;
         } else if (Lookahead("<?")) {
           pos_ += 2;
@@ -210,15 +245,27 @@ Result<Event> PullParser::Next() {
       } else {
         size_t start = pos_;
         while (!AtEnd() && Peek() != '<') Advance();
-        CSXA_ASSIGN_OR_RETURN(
-            std::string chunk,
-            Unescape(std::string_view(input_).substr(start, pos_ - start)));
-        text += chunk;
+        std::string_view raw =
+            std::string_view(input_).substr(start, pos_ - start);
+        bool needs_unescape = raw.find('&') != std::string_view::npos;
+        if (!have_text && acc == nullptr && !needs_unescape) {
+          direct = raw;
+        } else {
+          force_acc();
+          if (needs_unescape) {
+            CSXA_RETURN_IF_ERROR(AppendUnescaped(raw, acc));
+          } else {
+            acc->append(raw);
+          }
+        }
+        have_text = true;
         if (!options_.coalesce_text) break;
       }
     }
-    if (!text.empty() && !(options_.skip_whitespace_text && IsAllWhitespace(text))) {
-      return Event::Value(std::move(text));
+    std::string_view text = acc != nullptr ? std::string_view(*acc) : direct;
+    if (!text.empty() &&
+        !(options_.skip_whitespace_text && IsAllWhitespace(text))) {
+      return EventView::Value(text);
     }
     // No deliverable text: handle the markup that stopped the scan.
     if (Peek() == '<') {
@@ -232,13 +279,18 @@ Result<Event> PullParser::Next() {
   }
 }
 
+Result<Event> PullParser::Next() {
+  CSXA_ASSIGN_OR_RETURN(EventView v, NextView());
+  return v.Materialize();
+}
+
 Status PullParser::ParseAll(const std::string& input, EventSink* sink,
                             ParserOptions options) {
   PullParser parser(input, options);
   for (;;) {
-    CSXA_ASSIGN_OR_RETURN(Event e, parser.Next());
-    CSXA_RETURN_IF_ERROR(sink->OnEvent(e));
-    if (e.type == EventType::kEnd) return Status::OK();
+    CSXA_ASSIGN_OR_RETURN(EventView v, parser.NextView());
+    CSXA_RETURN_IF_ERROR(sink->OnEventView(v));
+    if (v.type == EventType::kEnd) return Status::OK();
   }
 }
 
@@ -247,9 +299,20 @@ Result<std::vector<Event>> PullParser::ParseToEvents(const std::string& input,
   PullParser parser(input, options);
   std::vector<Event> events;
   for (;;) {
-    CSXA_ASSIGN_OR_RETURN(Event e, parser.Next());
-    if (e.type == EventType::kEnd) return events;
-    events.push_back(std::move(e));
+    CSXA_ASSIGN_OR_RETURN(EventView v, parser.NextView());
+    if (v.type == EventType::kEnd) return events;
+    events.push_back(v.Materialize());
+  }
+}
+
+Result<RecordedEvents> PullParser::ParseToRecorded(const std::string& input,
+                                                   ParserOptions options) {
+  PullParser parser(input, options);
+  RecordedEvents rec;
+  for (;;) {
+    CSXA_ASSIGN_OR_RETURN(EventView v, parser.NextView());
+    if (v.type == EventType::kEnd) return rec;
+    rec.Append(v);
   }
 }
 

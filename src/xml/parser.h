@@ -6,13 +6,22 @@
 ///
 /// This is the terminal/publisher-side parser used to encode documents and
 /// to load reference DOMs. The SOE itself never parses textual XML — it
-/// consumes the compressed encoded stream (see skipindex/document_codec.h).
+/// consumes the compressed encoded stream (see skipindex/codec.h).
+///
+/// The core API is borrowed-view (`NextView()`): tag names are always
+/// slices of the input buffer, text and attribute values are slices
+/// whenever they contain no entity references (the common case), and
+/// escaped content lands in per-parser scratch buffers that are reused
+/// across events — steady state performs no per-event allocation. `Next()`
+/// materializes the same stream into owning events for callers that retain
+/// them.
 ///
 /// Supported: elements, attributes, character data with entity references,
 /// comments, processing instructions and XML declarations (skipped),
 /// CDATA sections, self-closing tags. Not supported (ParseError or
 /// NotSupported): DTDs, namespaces beyond treating ':' as a name char.
 
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,20 +51,28 @@ class PullParser {
  public:
   explicit PullParser(std::string input, ParserOptions options = {});
 
-  // Non-copyable/movable: open_tags_ and pending_close_name_ are views
-  // into input_, which relocates under copy/move (SSO).
+  // Non-copyable/movable: events and internal state hold views into
+  // input_ and the scratch buffers, which relocate under copy/move (SSO).
   PullParser(const PullParser&) = delete;
   PullParser& operator=(const PullParser&) = delete;
 
-  /// Produces the next event; Event.type == kEnd after the root closes.
-  /// Returns ParseError on malformed input.
+  /// Produces the next event as a borrowed view; type == kEnd after the
+  /// root closes. The view (name/text/attrs) is valid only until the next
+  /// NextView()/Next() call — callers that retain it must Materialize()
+  /// or Record() it into an EventArena. Returns ParseError on malformed
+  /// input.
+  Result<EventView> NextView();
+
+  /// Owning convenience: NextView() materialized.
   Result<Event> Next();
 
   /// Current 1-based line number (for error messages).
   int line() const { return line_; }
 
-  /// Convenience: parses the whole document, pushing every event (including
-  /// the trailing kEnd) into `sink`.
+  /// Convenience: parses the whole document, pushing every event
+  /// (including the trailing kEnd) into `sink` through the borrowed fast
+  /// path (`OnEventView`); sinks that only implement `OnEvent` receive
+  /// materialized copies via the default forwarding.
   static Status ParseAll(const std::string& input, EventSink* sink,
                          ParserOptions options = {});
 
@@ -64,20 +81,32 @@ class PullParser {
   static Result<std::vector<Event>> ParseToEvents(const std::string& input,
                                                   ParserOptions options = {});
 
+  /// Parse-into-arena mode: the whole document as a recorded borrowed
+  /// stream (excluding the trailing kEnd). One arena owns every byte; the
+  /// views stay valid for the RecordedEvents' lifetime.
+  static Result<RecordedEvents> ParseToRecorded(const std::string& input,
+                                                ParserOptions options = {});
+
  private:
   Status SkipMisc();               // whitespace, comments, PIs between markup
   Status SkipComment();            // after "<!--"
   Status SkipProcessingInstruction();  // after "<?"
-  Result<Event> ParseOpenTag();    // after '<'
-  Result<Event> ParseCloseTag();   // after "</"
+  Result<EventView> ParseOpenTag();    // after '<'
+  Result<EventView> ParseCloseTag();   // after "</"
   // Non-owning slice of input_; valid for the parser's lifetime.
   Result<std::string_view> ParseName();
-  Result<std::string> ParseAttrValue();
+  // Raw slice when unescaped, scratch-backed otherwise; valid until the
+  // next event.
+  Result<std::string_view> ParseAttrValue();
   Status Error(const std::string& msg) const;
   TagId InternTag(std::string_view name) {
     return options_.interner != nullptr ? options_.interner->Intern(name)
                                         : kNoTagId;
   }
+  // Scratch string reused across events (capacity kept). Deque storage:
+  // growth never moves earlier strings, so views into them stay valid
+  // within one event.
+  std::string* NewScratch();
 
   bool AtEnd() const { return pos_ >= input_.size(); }
   char Peek() const { return input_[pos_]; }
@@ -97,6 +126,10 @@ class PullParser {
   std::string_view pending_close_name_;
   TagId pending_close_id_ = kNoTagId;
   std::vector<std::string_view> open_tags_;
+  // Per-event borrowed storage, invalidated by the next NextView() call.
+  std::vector<AttrView> attr_views_;
+  std::deque<std::string> scratch_;
+  size_t scratch_used_ = 0;
 };
 
 }  // namespace csxa::xml

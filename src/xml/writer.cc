@@ -5,22 +5,27 @@
 namespace csxa::xml {
 
 Status CanonicalWriter::OnEvent(const Event& event) {
+  return OnEventView(ViewOf(event, &attr_scratch_));
+}
+
+Status CanonicalWriter::OnEventView(const EventView& event) {
   switch (event.type) {
     case EventType::kOpen:
       out_.push_back('<');
       out_ += event.name;
-      for (const Attribute& a : event.attrs) {
+      for (size_t i = 0; i < event.num_attrs; ++i) {
+        const AttrView& a = event.attrs[i];
         out_.push_back(' ');
         out_ += a.name;
         out_ += "=\"";
-        out_ += Escape(a.value);
+        AppendEscaped(a.value, &out_);
         out_.push_back('"');
       }
       out_.push_back('>');
       ++depth_;
       return Status::OK();
     case EventType::kValue:
-      out_ += Escape(event.text);
+      AppendEscaped(event.text, &out_);
       return Status::OK();
     case EventType::kClose:
       if (depth_ == 0) {

@@ -19,9 +19,15 @@
 namespace csxa::xml {
 
 /// \brief EventSink rendering canonical XML text.
+///
+/// Renders from borrowed views natively (`OnEventView`): text and
+/// attribute bytes flow from the producer's buffer straight into the
+/// output string, so the borrowed pipeline never materializes an event on
+/// the way out.
 class CanonicalWriter : public EventSink {
  public:
   Status OnEvent(const Event& event) override;
+  Status OnEventView(const EventView& view) override;
 
   /// The rendered document so far.
   const std::string& str() const { return out_; }
@@ -31,6 +37,7 @@ class CanonicalWriter : public EventSink {
  private:
   std::string out_;
   int depth_ = 0;
+  std::vector<AttrView> attr_scratch_;  // OnEvent → OnEventView bridge
 };
 
 /// \brief EventSink that records events into a vector (test utility).

@@ -47,6 +47,8 @@ uint64_t SeedOffset() {
   return offset;
 }
 
+// Borrowed mode: EmitEvents delivers views straight into the evaluator's
+// OnEventView fast path.
 std::string StreamView(const xml::DomDocument& doc,
                        const std::vector<core::AccessRule>& rules,
                        const xpath::PathExpr* query, Status* status_out,
@@ -58,6 +60,35 @@ std::string StreamView(const xml::DomDocument& doc,
     return "";
   }
   Status st = doc.root()->EmitEvents(ev.value().get());
+  if (st.ok()) st = ev.value()->Finish();
+  *status_out = st;
+  if (stats_out != nullptr) *stats_out = ev.value()->stats();
+  return out.str();
+}
+
+// Owning mode: the same stream recorded as owning events and fed through
+// OnEvent. The borrowed path must be indistinguishable from this — same
+// delivered bytes, same counters, same modeled RAM peak.
+std::string StreamViewOwning(const xml::DomDocument& doc,
+                             const std::vector<core::AccessRule>& rules,
+                             const xpath::PathExpr* query, Status* status_out,
+                             core::EvaluatorStats* stats_out = nullptr) {
+  xml::EventRecorder recorder;
+  Status st = doc.root()->EmitEvents(&recorder);
+  if (!st.ok()) {
+    *status_out = st;
+    return "";
+  }
+  xml::CanonicalWriter out;
+  auto ev = core::StreamingEvaluator::Create(rules, query, &out);
+  if (!ev.ok()) {
+    *status_out = ev.status();
+    return "";
+  }
+  for (const xml::Event& e : recorder.events()) {
+    st = ev.value()->OnEvent(e);
+    if (!st.ok()) break;
+  }
   if (st.ok()) st = ev.value()->Finish();
   *status_out = st;
   if (stats_out != nullptr) *stats_out = ev.value()->stats();
@@ -122,6 +153,24 @@ TEST_P(OracleAgreement, StreamingMatchesDom) {
         << "seed=" << seed << "\nrules:\n"
         << rules.ToText()
         << (qptr ? ("query: " + xpath::ToString(*qptr)) : std::string());
+    // Borrowed vs owning differential: the zero-copy path must deliver
+    // the same bytes at byte-identical modeled end-to-end cost.
+    Status owning_st = Status::OK();
+    core::EvaluatorStats owning_stats;
+    std::string owned =
+        StreamViewOwning(doc, rules.ForSubject("u"), qptr, &owning_st,
+                         &owning_stats);
+    ASSERT_TRUE(owning_st.ok()) << owning_st.ToString();
+    EXPECT_EQ(streamed, owned) << "seed=" << seed;
+    EXPECT_EQ(stats.modeled_ram_peak, owning_stats.modeled_ram_peak)
+        << "seed=" << seed;
+    EXPECT_EQ(stats.events, owning_stats.events) << "seed=" << seed;
+    EXPECT_EQ(stats.nfa_transitions, owning_stats.nfa_transitions)
+        << "seed=" << seed;
+    EXPECT_EQ(stats.obligations_created, owning_stats.obligations_created)
+        << "seed=" << seed;
+    EXPECT_EQ(stats.buffered_events_peak, owning_stats.buffered_events_peak)
+        << "seed=" << seed;
     // Counter invariants, pinned to the DOM oracle: every element decides
     // exactly once, and (absent a query) the permitted count equals the
     // reference authorization.
