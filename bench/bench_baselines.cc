@@ -66,13 +66,15 @@ int main() {
     auto srv = server.Query("h", q.subject, q.query, net);
     CSXA_CHECK(srv.ok());
     // Subset scheme: client downloads+decrypts all readable classes over
-    // the card link, then filters locally (query does not reduce I/O).
+    // the card link, then filters locally (query does not reduce I/O);
+    // every class blob is its own server round trip (no batch protocol).
     auto cost = subset.value().QueryCost(q.subject);
     soe::CardProfile egate = soe::CardProfile::EGate();
     double subset_seconds =
         static_cast<double>(cost.bytes_transferred) / egate.link_bytes_per_sec +
         static_cast<double>(cost.bytes_decrypted) *
-            egate.cycles_per_byte_decrypt / (egate.cpu_mhz * 1e6);
+            egate.cycles_per_byte_decrypt / (egate.cpu_mhz * 1e6) +
+        static_cast<double>(cost.round_trips) * egate.round_trip_latency_sec;
 
     std::string label = std::string(q.subject) +
                         (q.query[0] ? std::string(" ") + q.query : "");

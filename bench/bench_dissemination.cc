@@ -56,6 +56,9 @@ int main() {
                                    static_cast<double>(wire)),
                  Fmt("%zu", d.stats.skips),
                  Fmt("%.1f", d.stats.total_seconds)});
+      JsonReport::Get().Add(Fmt("push_card_s/%s", d.subscriber.c_str()),
+                            d.stats.total_seconds * 1e9, 0, 0,
+                            static_cast<double>(d.stats.bytes_decrypted));
     }
     t1.Print();
     std::printf("broadcast: %llu wire bytes per item\n\n",
@@ -92,6 +95,12 @@ int main() {
                Fmt("%.1f", report.value().max_subscriber_seconds),
                keeps_up ? "yes" : "NO",
                Fmt("%.3f", mreport.value().max_subscriber_seconds)});
+    JsonReport::Get().Add(Fmt("push_slowest_s/%zu/egate", elems),
+                          report.value().max_subscriber_seconds * 1e9, 0, 0,
+                          static_cast<double>(
+                              report.value().broadcast_wire_bytes));
+    JsonReport::Get().Add(Fmt("push_slowest_s/%zu/modern", elems),
+                          mreport.value().max_subscriber_seconds * 1e9);
   }
   t2.Print();
   std::printf("\nexpected shape: the 2 KB/s e-gate link caps broadcast "
@@ -121,6 +130,7 @@ int main() {
     }
     t3.AddRow({Fmt("%zu", n), Fmt("%.1f", total),
                Fmt("%.1f", report.value().max_subscriber_seconds)});
+    JsonReport::Get().AddValue(Fmt("push_total_card_s/%zu", n), total);
   }
   t3.Print();
   std::printf("\nexpected shape: cards filter in parallel — wall-clock per "

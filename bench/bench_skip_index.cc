@@ -46,6 +46,10 @@ int main() {
     auto without = RunSession(fx, "u", "", /*use_skip=*/false);
     CSXA_CHECK(with.view_xml == without.view_xml);
     double speedup = without.stats.total_seconds / with.stats.total_seconds;
+    JsonReport::Get().Add(Fmt("skip_session_s/frac%.2f/skip", frac),
+                          with.stats.total_seconds * 1e9, 0, 0, speedup);
+    JsonReport::Get().Add(Fmt("skip_session_s/frac%.2f/noskip", frac),
+                          without.stats.total_seconds * 1e9);
     table.AddRow({level.label, Fmt("%.2f", frac), "skip",
                   Fmt("%llu", (unsigned long long)with.stats.bytes_transferred),
                   Fmt("%llu", (unsigned long long)with.stats.bytes_decrypted),
@@ -79,6 +83,10 @@ int main() {
     auto with = RunSession(fx, "u", q, true);
     auto without = RunSession(fx, "u", q, false);
     CSXA_CHECK(with.view_xml == without.view_xml);
+    JsonReport::Get().Add(Fmt("skip_query_s/%s", q[0] ? q : "(none)"),
+                          with.stats.total_seconds * 1e9, 0, 0,
+                          without.stats.total_seconds /
+                              with.stats.total_seconds);
     qtable.AddRow({q[0] ? q : "(none)", Fmt("%.2f", AuthFraction(fx, "u", q)),
                    "skip",
                    Fmt("%llu", (unsigned long long)with.stats.bytes_transferred),

@@ -134,33 +134,9 @@ struct Fixture {
   size_t encoded_bytes = 0;
 };
 
-/// ChunkProvider over a fixture (pull or push).
-class FixtureProvider : public soe::ChunkProvider {
- public:
-  explicit FixtureProvider(const crypto::SecureContainer* c) : container_(c) {}
-  Result<soe::ChunkData> GetChunk(uint32_t index) override {
-    soe::ChunkData chunk;
-    CSXA_ASSIGN_OR_RETURN(Span cipher, container_->ChunkCiphertext(index));
-    chunk.ciphertext = cipher.ToBytes();
-    CSXA_ASSIGN_OR_RETURN(chunk.auth, container_->GetChunkAuth(index));
-    return chunk;
-  }
-  uint64_t TotalWireBytes() const override {
-    uint64_t total = crypto::ContainerHeader::kWireSize;
-    for (uint32_t i = 0; i < container_->header().chunk_count; ++i) {
-      auto cipher = container_->ChunkCiphertext(i);
-      auto auth = container_->GetChunkAuth(i);
-      if (cipher.ok() && auth.ok()) {
-        total += cipher.value().size() +
-                 auth.value().WireBytes(container_->header().integrity);
-      }
-    }
-    return total;
-  }
-
- private:
-  const crypto::SecureContainer* container_;
-};
+/// ChunkProvider over a fixture (pull or push): the shared container
+/// provider, modeling a remote DSP front-end (round trips counted).
+using FixtureProvider = soe::ContainerChunkProvider;
 
 /// Builds a sealed fixture from a generated document and rule text.
 inline Fixture MakeFixture(xml::DocProfile profile, size_t elements,

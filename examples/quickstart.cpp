@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "dsp/caching.h"
 #include "dsp/store.h"
 #include "pki/registry.h"
 #include "proxy/publisher.h"
@@ -56,7 +57,11 @@ int main() {
               100.0 * receipt.value().encode_stats.IndexOverhead());
 
   // --- 4. A user terminal with its smart card. -----------------------------
-  proxy::Terminal manager("manager", soe::CardProfile::EGate(), &store,
+  // The terminal talks the batch dsp::Service protocol; a CachingClient
+  // in front of the store revalidates header + rules by version, so
+  // repeated sessions cost one tiny not-modified round trip each.
+  dsp::CachingClient cached(&store);
+  proxy::Terminal manager("manager", soe::CardProfile::EGate(), &cached,
                           &registry);
   if (!manager.Provision("team-doc").ok()) return 1;
 
@@ -72,12 +77,15 @@ int main() {
               result.value().xml.c_str());
   std::printf("card session: %.2f s modeled on an e-gate card "
               "(%.2f s transfer, %.2f s crypto), %llu bytes decrypted, "
-              "%zu subtree skips, RAM peak %zu B of %zu B\n",
+              "%zu subtree skips, %llu DSP round trips (batched), "
+              "RAM peak %zu B of %zu B\n",
               result.value().card.total_seconds,
               result.value().card.transfer_seconds,
               result.value().card.crypto_seconds,
               static_cast<unsigned long long>(result.value().card.bytes_decrypted),
-              result.value().card.skips, result.value().card.ram_peak,
+              result.value().card.skips,
+              static_cast<unsigned long long>(result.value().dsp_round_trips),
+              result.value().card.ram_peak,
               result.value().card.ram_budget);
 
   // --- 6. Dynamic policy change: one cheap rule update. --------------------

@@ -7,8 +7,10 @@
 #
 # Google Benchmark binaries (bench_automaton, bench_crypto,
 # bench_pipeline) emit JSON via --benchmark_out, converted here; the plain
-# table benches write their own report when CSXA_BENCH_JSON is set
-# (bench/bench_util.h JsonReport).
+# table benches — including bench_transport (BENCH_transport.json, the
+# tracked round-trip series), bench_dissemination and bench_skip_index —
+# write their own report when CSXA_BENCH_JSON is set (bench/bench_util.h
+# JsonReport).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -15,3 +15,7 @@ cmake -B build -S . -DCSXA_WERROR=ON
 cmake --build build -j
 cd build
 ctest --output-on-failure -j "$(nproc)"
+
+# The transport layer (dsp::Service protocol, sharding, caching,
+# prefetching) gates separately so a regression names itself in CI logs.
+ctest --output-on-failure -L transport

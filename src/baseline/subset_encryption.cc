@@ -114,6 +114,7 @@ SubsetQueryCost SubsetEncryptionStore::QueryCost(
       cost.bytes_decrypted += cls.sealed_bytes;
       cost.classes_read += 1;
       cost.elements_delivered += cls.members;
+      cost.round_trips += 1;
     }
   }
   return cost;

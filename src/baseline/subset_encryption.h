@@ -44,6 +44,9 @@ struct SubsetQueryCost {
   uint64_t bytes_decrypted = 0;
   size_t classes_read = 0;
   size_t elements_delivered = 0;
+  /// Server round trips: each class blob is its own fetch (the scheme has
+  /// no batch protocol — the comparison point for dsp::Service batching).
+  uint64_t round_trips = 0;
 };
 
 /// Cost of a policy change under the static scheme.

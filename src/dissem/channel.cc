@@ -6,41 +6,9 @@
 
 namespace csxa::dissem {
 
-namespace {
-
-/// ChunkProvider over a parsed in-memory container — models the already
-/// received broadcast buffer sitting in the terminal.
-class BroadcastProvider : public soe::ChunkProvider {
- public:
-  explicit BroadcastProvider(const crypto::SecureContainer* container)
-      : container_(container) {}
-
-  Result<soe::ChunkData> GetChunk(uint32_t index) override {
-    soe::ChunkData chunk;
-    CSXA_ASSIGN_OR_RETURN(Span cipher, container_->ChunkCiphertext(index));
-    chunk.ciphertext = cipher.ToBytes();
-    CSXA_ASSIGN_OR_RETURN(chunk.auth, container_->GetChunkAuth(index));
-    return chunk;
-  }
-
-  uint64_t TotalWireBytes() const override {
-    uint64_t total = crypto::ContainerHeader::kWireSize;
-    for (uint32_t i = 0; i < container_->header().chunk_count; ++i) {
-      auto cipher = container_->ChunkCiphertext(i);
-      auto auth = container_->GetChunkAuth(i);
-      if (cipher.ok() && auth.ok()) {
-        total += cipher.value().size() +
-                 auth.value().WireBytes(container_->header().integrity);
-      }
-    }
-    return total;
-  }
-
- private:
-  const crypto::SecureContainer* container_;
-};
-
-}  // namespace
+// The broadcast buffer the terminal already received is a local
+// ContainerChunkProvider: batch fetches cost no server round trips
+// (counts_round_trips = false — push-mode economics).
 
 Channel::Channel(std::string channel_id, std::string rules_text,
                  ChannelOptions options, uint64_t seed)
@@ -88,7 +56,8 @@ Result<BroadcastReport> Channel::Publish(const xml::DomDocument& item) {
   Bytes sealed_rules =
       core::SealRuleSet(key_, rules, item_counter_, &rng_);
 
-  BroadcastProvider provider(&container);
+  soe::ContainerChunkProvider provider(&container,
+                                       /*counts_round_trips=*/false);
   report.broadcast_wire_bytes = provider.TotalWireBytes();
 
   for (Subscriber* sub : subscribers_) {

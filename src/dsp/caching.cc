@@ -1,0 +1,41 @@
+#include "dsp/caching.h"
+
+namespace csxa::dsp {
+
+Result<Response> CachingClient::Execute(Request request) {
+  // Callers that manage their own revalidation bypass the cache.
+  if (request.op != Op::kOpenDocument || request.known_rules_version != 0) {
+    const Op op = request.op;
+    const std::string doc_id = request.doc_id;
+    Result<Response> result = backend_->Execute(std::move(request));
+    if (op == Op::kPublish || op == Op::kUpdateRules || op == Op::kRemove) {
+      cache_.erase(doc_id);
+    }
+    return result;
+  }
+
+  const std::string doc_id = request.doc_id;
+  auto it = cache_.find(doc_id);
+  if (it != cache_.end()) {
+    request.known_rules_version = it->second.rules_version;
+  }
+  CSXA_ASSIGN_OR_RETURN(Response resp, backend_->Execute(std::move(request)));
+  if (resp.not_modified && it != cache_.end()) {
+    // Policy unchanged: reconstitute the full response from the cache.
+    ++hits_;
+    resp.not_modified = false;
+    resp.header = it->second.header;
+    resp.sealed_rules = it->second.sealed_rules;
+    resp.rules_version = it->second.rules_version;
+    return resp;
+  }
+  if (it != cache_.end()) {
+    ++invalidations_;  // version moved (or entry vanished server-side)
+  } else {
+    ++misses_;
+  }
+  cache_[doc_id] = CacheEntry{resp.header, resp.sealed_rules, resp.rules_version};
+  return resp;
+}
+
+}  // namespace csxa::dsp

@@ -1,0 +1,58 @@
+#ifndef CSXA_DSP_CACHING_H_
+#define CSXA_DSP_CACHING_H_
+
+/// \file caching.h
+/// \brief Terminal-side caching decorator keyed by rules version.
+///
+/// Headers and sealed rules are small but re-fetched on every session; a
+/// CachingClient keeps the last kOpenDocument response per document and
+/// revalidates it with the protocol's known_rules_version field. While the
+/// policy is unchanged the backend answers with a tiny not-modified reply
+/// and the cached bodies are served locally — the paper's cheap dynamic
+/// policy update is exactly a version bump that invalidates this cache.
+/// Because every open still revalidates in one round trip, out-of-band
+/// updates (another terminal, the owner, even a DSP restore) are picked up
+/// on the next session; the card's own anti-rollback anchor still guards
+/// against a lying backend.
+
+#include <map>
+#include <string>
+
+#include "dsp/service.h"
+
+namespace csxa::dsp {
+
+/// \brief Service decorator caching kOpenDocument bodies by rules version.
+class CachingClient : public Service {
+ public:
+  /// `backend` must outlive the client.
+  explicit CachingClient(Service* backend) : backend_(backend) {}
+
+  Result<Response> Execute(Request request) override;
+  /// Load as observed by the backend (cache hits shrink bytes_served).
+  ServiceStats stats() const override { return backend_->stats(); }
+
+  /// \name Cache statistics
+  /// @{
+  uint64_t hits() const { return hits_; }          ///< served after not-modified
+  uint64_t misses() const { return misses_; }      ///< first fetch of a doc
+  uint64_t invalidations() const { return invalidations_; }  ///< version moved
+  /// @}
+
+ private:
+  struct CacheEntry {
+    Bytes header;
+    Bytes sealed_rules;
+    uint64_t rules_version = 0;
+  };
+
+  Service* backend_;
+  std::map<std::string, CacheEntry> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace csxa::dsp
+
+#endif  // CSXA_DSP_CACHING_H_

@@ -1,0 +1,92 @@
+#include "dsp/sharded.h"
+
+#include "common/logging.h"
+
+namespace csxa::dsp {
+
+ShardedService::ShardedService(std::vector<Service*> shards)
+    : shards_(std::move(shards)), shard_requests_(shards_.size(), 0) {
+  CSXA_CHECK(!shards_.empty());
+}
+
+size_t ShardedService::ShardFor(const std::string& doc_id) const {
+  // FNV-1a: stable across runs (routing must not depend on process state).
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : doc_id) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h % shards_.size());
+}
+
+Result<Response> ShardedService::Execute(Request request) {
+  size_t home = ShardFor(request.doc_id);
+
+  // Publishing lands on the home shard — and must then clear any copy a
+  // non-home shard still holds from an older layout, or reads could fail
+  // over to the superseded container. The home publish goes FIRST: if the
+  // backend rejects it, existing copies stay untouched.
+  if (request.op == Op::kPublish) {
+    Request clear;
+    clear.op = Op::kRemove;
+    clear.doc_id = request.doc_id;
+    ++shard_requests_[home];
+    Result<Response> published = shards_[home]->Execute(std::move(request));
+    if (!published.ok()) return published;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (i == home) continue;
+      ++shard_requests_[i];
+      Result<Response> cleared = shards_[i]->Execute(clear);
+      if (!cleared.ok() &&
+          cleared.status().code() != StatusCode::kNotFound) {
+        return cleared;
+      }
+    }
+    return published;
+  }
+
+  // Removal sweeps every shard: a delete must not leave a resurrectable
+  // copy behind a failover.
+  if (request.op == Op::kRemove) {
+    bool removed = false;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      ++shard_requests_[i];
+      Result<Response> probe = shards_[i]->Execute(request);
+      if (probe.ok()) {
+        if (i != home) ++failovers_;
+        removed = true;
+      } else if (probe.status().code() != StatusCode::kNotFound) {
+        return probe;
+      }
+    }
+    if (!removed) return Status::NotFound("document " + request.doc_id);
+    return Response{};
+  }
+
+  // Reads and in-place writes: home first, then fail over to the shards
+  // that might still hold a document placed under an older layout.
+  ++shard_requests_[home];
+  Result<Response> result = shards_[home]->Execute(request);
+  if (result.ok() || result.status().code() != StatusCode::kNotFound) {
+    return result;
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i == home) continue;
+    ++shard_requests_[i];
+    Result<Response> probe = shards_[i]->Execute(request);
+    if (probe.ok()) {
+      ++failovers_;
+      return probe;
+    }
+    if (probe.status().code() != StatusCode::kNotFound) return probe;
+  }
+  return result;  // the home shard's NotFound
+}
+
+ServiceStats ShardedService::stats() const {
+  ServiceStats total;
+  for (const Service* shard : shards_) total += shard->stats();
+  return total;
+}
+
+}  // namespace csxa::dsp

@@ -1,0 +1,56 @@
+#ifndef CSXA_DSP_SHARDED_H_
+#define CSXA_DSP_SHARDED_H_
+
+/// \file sharded.h
+/// \brief Horizontal scale-out: one Service routing doc_ids across N
+/// backend Services.
+///
+/// The DSP is untrusted and stateless with respect to the protocol, so
+/// scaling it out is pure routing: a stable hash of the doc_id picks the
+/// home shard; reads fail over to the other shards when the home shard
+/// does not hold the document (e.g. documents placed before the shard
+/// count changed). Publishing writes the home shard and clears stale
+/// copies elsewhere; removal sweeps every shard — so failover can never
+/// resurrect a superseded or deleted document. Terminals are oblivious —
+/// they speak the same Execute() protocol to one shard or to a fleet.
+
+#include <string>
+#include <vector>
+
+#include "dsp/service.h"
+
+namespace csxa::dsp {
+
+/// \brief Service decorator fanning one namespace out over N backends.
+class ShardedService : public Service {
+ public:
+  /// `shards` must be non-empty and outlive the router.
+  explicit ShardedService(std::vector<Service*> shards);
+
+  Result<Response> Execute(Request request) override;
+  /// Aggregate load over all shards.
+  ServiceStats stats() const override;
+
+  /// Home shard of a document (stable FNV-1a hash of the id).
+  size_t ShardFor(const std::string& doc_id) const;
+  size_t shard_count() const { return shards_.size(); }
+
+  /// \name Routing statistics
+  /// @{
+  /// Requests issued to each shard (including failover probes).
+  const std::vector<uint64_t>& shard_requests() const {
+    return shard_requests_;
+  }
+  /// Requests served by a shard other than the document's home shard.
+  uint64_t failovers() const { return failovers_; }
+  /// @}
+
+ private:
+  std::vector<Service*> shards_;
+  std::vector<uint64_t> shard_requests_;
+  uint64_t failovers_ = 0;
+};
+
+}  // namespace csxa::dsp
+
+#endif  // CSXA_DSP_SHARDED_H_

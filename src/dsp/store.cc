@@ -2,77 +2,127 @@
 
 namespace csxa::dsp {
 
-Status DspServer::PublishDocument(const std::string& doc_id, Bytes container,
-                                  Bytes sealed_rules) {
-  Entry entry;
-  entry.container_bytes = std::make_unique<Bytes>(std::move(container));
-  CSXA_ASSIGN_OR_RETURN(
-      entry.container, crypto::SecureContainer::Parse(*entry.container_bytes));
-  entry.sealed_rules = std::move(sealed_rules);
-  entry.rules_version = 1;
-  auto [it, inserted] = docs_.insert_or_assign(doc_id, std::move(entry));
-  (void)it;
-  (void)inserted;
-  return Status::OK();
-}
+namespace {
+// Modeled fixed framing of a response that carries only status + version
+// (the not-modified revalidation reply).
+constexpr uint64_t kRevalidationWireBytes = 16;
+}  // namespace
 
-Status DspServer::UpdateRules(const std::string& doc_id, Bytes sealed_rules) {
-  auto it = docs_.find(doc_id);
-  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
-  it->second.sealed_rules = std::move(sealed_rules);
-  ++it->second.rules_version;
-  return Status::OK();
-}
-
-Status DspServer::Remove(const std::string& doc_id) {
-  if (docs_.erase(doc_id) == 0) return Status::NotFound("document " + doc_id);
-  return Status::OK();
-}
-
-Result<Bytes> DspServer::GetHeader(const std::string& doc_id) const {
-  auto it = docs_.find(doc_id);
-  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
-  const Bytes& raw = *it->second.container_bytes;
+Result<Response> DspServer::OpenDocumentImpl(const Request& request,
+                                             const Entry& entry) {
+  Response resp;
+  resp.rules_version = entry.rules_version;
+  if (request.known_rules_version != 0 &&
+      request.known_rules_version == entry.rules_version) {
+    // The client's cached header + rules are still current: elide the
+    // bodies. A policy update bumps the version and naturally invalidates.
+    resp.not_modified = true;
+    resp.wire_bytes = kRevalidationWireBytes;
+    ++stats_.not_modified;
+    return resp;
+  }
+  const Bytes& raw = *entry.container_bytes;
   if (raw.size() < crypto::ContainerHeader::kWireSize) {
     return Status::Internal("stored container shorter than a header");
   }
-  Bytes header(raw.begin(),
-               raw.begin() + crypto::ContainerHeader::kWireSize);
-  bytes_served_ += header.size();
-  return header;
+  resp.header.assign(raw.begin(), raw.begin() + crypto::ContainerHeader::kWireSize);
+  resp.sealed_rules = entry.sealed_rules;
+  resp.wire_bytes = resp.header.size() + resp.sealed_rules.size() + 8;
+  return resp;
 }
 
-Result<soe::ChunkData> DspServer::GetChunk(const std::string& doc_id,
-                                           uint32_t index) const {
-  auto it = docs_.find(doc_id);
-  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
-  soe::ChunkData chunk;
-  CSXA_ASSIGN_OR_RETURN(Span cipher, it->second.container.ChunkCiphertext(index));
-  chunk.ciphertext = cipher.ToBytes();
-  CSXA_ASSIGN_OR_RETURN(chunk.auth, it->second.container.GetChunkAuth(index));
-  ++chunk_requests_;
-  bytes_served_ += chunk.WireBytes(it->second.container.header().integrity);
-  return chunk;
+Result<Response> DspServer::GetChunksImpl(const Request& request,
+                                          const Entry& entry) {
+  Response resp;
+  for (const ChunkSpan& span : request.spans) {
+    for (uint32_t i = 0; i < span.count; ++i) {
+      uint32_t index = span.first + i;
+      soe::ChunkData chunk;
+      CSXA_ASSIGN_OR_RETURN(Span cipher, entry.container.ChunkCiphertext(index));
+      chunk.ciphertext = cipher.ToBytes();
+      CSXA_ASSIGN_OR_RETURN(chunk.auth, entry.container.GetChunkAuth(index));
+      resp.wire_bytes += chunk.WireBytes(entry.container.header().integrity);
+      resp.chunks.push_back(std::move(chunk));
+    }
+  }
+  stats_.chunks_served += resp.chunks.size();
+  return resp;
 }
 
-Result<Bytes> DspServer::GetSealedRules(const std::string& doc_id) const {
-  auto it = docs_.find(doc_id);
-  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
-  bytes_served_ += it->second.sealed_rules.size();
-  return it->second.sealed_rules;
+Result<Response> DspServer::Execute(Request request) {
+  ++stats_.requests;
+
+  if (request.op == Op::kPublish) {
+    Entry entry;
+    entry.container_bytes =
+        std::make_unique<Bytes>(std::move(request.container));
+    CSXA_ASSIGN_OR_RETURN(entry.container, crypto::SecureContainer::Parse(
+                                               *entry.container_bytes));
+    entry.sealed_rules = std::move(request.sealed_rules);
+    // Monotone even across republish and remove-then-republish: a new
+    // container under a previously seen id must exceed every version ever
+    // served for it, or version-keyed caches would serve the old header
+    // and rules as not-modified against the new chunks.
+    uint64_t floor = 0;
+    auto existing = docs_.find(request.doc_id);
+    if (existing != docs_.end()) {
+      floor = existing->second.rules_version;
+    } else if (auto retired = retired_versions_.find(request.doc_id);
+               retired != retired_versions_.end()) {
+      floor = retired->second;
+    }
+    entry.rules_version = floor + 1;
+    Response resp;
+    resp.rules_version = entry.rules_version;
+    docs_.insert_or_assign(request.doc_id, std::move(entry));
+    return resp;
+  }
+
+  auto it = docs_.find(request.doc_id);
+  if (it == docs_.end()) {
+    return Status::NotFound("document " + request.doc_id);
+  }
+  Entry& entry = it->second;
+
+  Response resp;
+  switch (request.op) {
+    case Op::kOpenDocument: {
+      CSXA_ASSIGN_OR_RETURN(resp, OpenDocumentImpl(request, entry));
+      break;
+    }
+    case Op::kGetChunks: {
+      CSXA_ASSIGN_OR_RETURN(resp, GetChunksImpl(request, entry));
+      break;
+    }
+    case Op::kGetContainer: {
+      resp.container = *entry.container_bytes;
+      resp.wire_bytes = resp.container.size();
+      break;
+    }
+    case Op::kUpdateRules: {
+      entry.sealed_rules = std::move(request.sealed_rules);
+      ++entry.rules_version;
+      resp.rules_version = entry.rules_version;
+      break;
+    }
+    case Op::kRemove: {
+      // Tombstone the version so a future republish of the id stays
+      // monotone for caches that still hold the deleted document.
+      retired_versions_[request.doc_id] = entry.rules_version;
+      docs_.erase(it);
+      break;
+    }
+    case Op::kPublish:
+      break;  // handled above
+  }
+  stats_.bytes_served += resp.wire_bytes;
+  return resp;
 }
 
-Result<Bytes> DspServer::GetContainer(const std::string& doc_id) const {
-  auto it = docs_.find(doc_id);
-  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
-  bytes_served_ += it->second.container_bytes->size();
-  return *it->second.container_bytes;
-}
-
-Result<uint64_t> DspServer::GetRulesVersion(const std::string& doc_id) const {
-  auto it = docs_.find(doc_id);
-  if (it == docs_.end()) return Status::NotFound("document " + doc_id);
-  return it->second.rules_version;
+ServiceStats DspServer::stats() const {
+  ServiceStats out = stats_;
+  out.documents = docs_.size();
+  return out;
 }
 
 }  // namespace csxa::dsp

@@ -8,8 +8,10 @@
 /// *honest-but-curious at best and possibly malicious*: it never sees keys
 /// or plaintext, and any tampering it attempts (chunk substitution,
 /// reordering, truncation, stale rules) is caught by the card's integrity
-/// checks. It serves container headers and individual chunks with their
-/// Merkle proofs, which is what makes server-side skipping possible.
+/// checks. It serves container headers, sealed rules and chunk batches
+/// with their authentication material through the dsp::Service protocol,
+/// which is what makes server-side skipping — and server-side scale-out —
+/// possible.
 
 #include <map>
 #include <memory>
@@ -18,39 +20,18 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "crypto/container.h"
-#include "soe/chunk_source.h"
+#include "dsp/service.h"
 
 namespace csxa::dsp {
 
-/// \brief In-memory DSP server.
-class DspServer {
+/// \brief In-memory DSP backend speaking the Service protocol.
+class DspServer : public Service {
  public:
-  /// Stores a document container and its sealed rule set.
-  Status PublishDocument(const std::string& doc_id, Bytes container,
-                         Bytes sealed_rules);
-  /// Replaces the sealed rules of an existing document (the cheap policy
-  /// update the paper's dynamic model enables); bumps the version.
-  Status UpdateRules(const std::string& doc_id, Bytes sealed_rules);
-  /// Removes a document.
-  Status Remove(const std::string& doc_id);
-
-  /// Serialized container header (public metadata).
-  Result<Bytes> GetHeader(const std::string& doc_id) const;
-  /// One ciphertext chunk plus its Merkle path.
-  Result<soe::ChunkData> GetChunk(const std::string& doc_id,
-                                  uint32_t index) const;
-  /// The sealed rules blob.
-  Result<Bytes> GetSealedRules(const std::string& doc_id) const;
-  /// Whole container (used by the full-download baseline).
-  Result<Bytes> GetContainer(const std::string& doc_id) const;
-  /// Rule-set version counter (starts at 1).
-  Result<uint64_t> GetRulesVersion(const std::string& doc_id) const;
+  Result<Response> Execute(Request request) override;
+  ServiceStats stats() const override;
 
   /// Number of stored documents.
   size_t size() const { return docs_.size(); }
-  /// Total bytes served through chunk requests (load accounting).
-  uint64_t bytes_served() const { return bytes_served_; }
-  uint64_t chunk_requests() const { return chunk_requests_; }
 
  private:
   struct Entry {
@@ -59,25 +40,15 @@ class DspServer {
     Bytes sealed_rules;
     uint64_t rules_version = 1;
   };
+
+  Result<Response> OpenDocumentImpl(const Request& request, const Entry& entry);
+  Result<Response> GetChunksImpl(const Request& request, const Entry& entry);
+
   std::map<std::string, Entry> docs_;
-  mutable uint64_t bytes_served_ = 0;
-  mutable uint64_t chunk_requests_ = 0;
-};
-
-/// \brief ChunkProvider bound to one document on a DSP (what the proxy
-/// hands to the card engine in pull mode).
-class DspChunkProvider : public soe::ChunkProvider {
- public:
-  DspChunkProvider(const DspServer* server, std::string doc_id)
-      : server_(server), doc_id_(std::move(doc_id)) {}
-
-  Result<soe::ChunkData> GetChunk(uint32_t index) override {
-    return server_->GetChunk(doc_id_, index);
-  }
-
- private:
-  const DspServer* server_;
-  std::string doc_id_;
+  // Last version of removed documents: republishing the same id must stay
+  // version-monotone so caches never see a not-modified stale header.
+  std::map<std::string, uint64_t> retired_versions_;
+  ServiceStats stats_;
 };
 
 }  // namespace csxa::dsp

@@ -38,8 +38,8 @@ Result<PublishReceipt> Publisher::Publish(const std::string& doc_id,
                         SealRules(receipt.key, rules, doc_id));
   receipt.sealed_rules_bytes = sealed_rules.size();
 
-  CSXA_RETURN_IF_ERROR(dsp_->PublishDocument(doc_id, std::move(container),
-                                             std::move(sealed_rules)));
+  CSXA_RETURN_IF_ERROR(
+      dsp_->Publish(doc_id, std::move(container), std::move(sealed_rules)));
   // Key distribution through the (simulated) PKI for every subject.
   for (const std::string& subject : rules.Subjects()) {
     registry_->RegisterUser(subject);

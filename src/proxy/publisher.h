@@ -18,7 +18,7 @@
 #include "common/status.h"
 #include "core/rule.h"
 #include "crypto/container.h"
-#include "dsp/store.h"
+#include "dsp/service.h"
 #include "pki/registry.h"
 #include "skipindex/codec.h"
 #include "xml/dom.h"
@@ -42,9 +42,12 @@ struct PublishReceipt {
 };
 
 /// \brief Owner-side publishing facade.
+///
+/// Talks to any dsp::Service backend (in-memory, sharded, cached): one
+/// kPublish or kUpdateRules round trip per operation.
 class Publisher {
  public:
-  Publisher(dsp::DspServer* dsp, pki::KeyRegistry* registry, uint64_t seed)
+  Publisher(dsp::Service* dsp, pki::KeyRegistry* registry, uint64_t seed)
       : dsp_(dsp), registry_(registry), rng_(seed) {}
 
   /// Publishes `doc` as `doc_id` with `rules_text` (RuleSet text format),
@@ -67,7 +70,7 @@ class Publisher {
                           const core::RuleSet& rules,
                           const std::string& doc_id);
 
-  dsp::DspServer* dsp_;
+  dsp::Service* dsp_;
   pki::KeyRegistry* registry_;
   Rng rng_;
   /// Owner-side monotone rule-set versions (anti-rollback anchor).

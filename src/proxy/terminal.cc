@@ -1,5 +1,7 @@
 #include "proxy/terminal.h"
 
+#include "soe/prefetch.h"
+
 namespace csxa::proxy {
 
 using soe::ApduCommand;
@@ -7,7 +9,7 @@ using soe::ApduResponse;
 using soe::Ins;
 
 Terminal::Terminal(std::string user, soe::CardProfile profile,
-                   dsp::DspServer* dsp, pki::KeyRegistry* registry)
+                   dsp::Service* dsp, pki::KeyRegistry* registry)
     : user_(std::move(user)), dsp_(dsp), registry_(registry), applet_(profile) {}
 
 Status Terminal::Provision(const std::string& doc_id) {
@@ -37,13 +39,22 @@ Status FromSw(uint16_t sw, const std::string& what) {
 
 Result<QueryResult> Terminal::Query(const std::string& doc_id,
                                     const QueryOptions& options) {
-  // Fetch public metadata and the sealed rules from the DSP.
-  uint64_t dsp_before = dsp_->bytes_served();
-  CSXA_ASSIGN_OR_RETURN(Bytes header, dsp_->GetHeader(doc_id));
-  CSXA_ASSIGN_OR_RETURN(Bytes sealed_rules, dsp_->GetSealedRules(doc_id));
+  // One OpenDocument round trip fetches header + sealed rules + rules
+  // version together (three separate calls before the batch protocol).
+  dsp::ServiceStats dsp_before = dsp_->stats();
+  CSXA_ASSIGN_OR_RETURN(dsp::Response open, dsp_->OpenDocument(doc_id));
 
-  // The chunk provider the card pulls from during the session.
-  dsp::DspChunkProvider provider(dsp_, doc_id);
+  // The chunk supply the card pulls from during the session: a per-chunk
+  // Service provider, wrapped in a prefetch window so sequential runs
+  // amortize the terminal<->DSP latency.
+  ByteReader header_reader(open.header);
+  CSXA_ASSIGN_OR_RETURN(crypto::ContainerHeader parsed_header,
+                        crypto::ContainerHeader::DecodeFrom(&header_reader));
+  dsp::ServiceChunkProvider chunk_provider(dsp_, doc_id);
+  soe::PrefetchOptions popt;
+  popt.max_window = options.max_prefetch;
+  soe::PrefetchingProvider provider(&chunk_provider, parsed_header.chunk_count,
+                                    popt);
   applet_.SetChunkProvider(&provider);
 
   // Drive the card over APDUs. The transport charges a dedicated cost
@@ -57,7 +68,7 @@ Result<QueryResult> Terminal::Query(const std::string& doc_id,
   {
     ByteWriter w;
     w.PutString(doc_id);
-    w.PutLengthPrefixed(header);
+    w.PutLengthPrefixed(open.header);
     select.data = w.Take();
   }
   ApduResponse resp = transport.Exchange(&applet_, select);
@@ -65,7 +76,7 @@ Result<QueryResult> Terminal::Query(const std::string& doc_id,
 
   ApduCommand put_rules;
   put_rules.ins = Ins::kPutRules;
-  put_rules.data = sealed_rules;
+  put_rules.data = open.sealed_rules;
   resp = transport.Exchange(&applet_, put_rules);
   if (!resp.ok()) return FromSw(resp.sw, "put-rules");
 
@@ -101,7 +112,9 @@ Result<QueryResult> Terminal::Query(const std::string& doc_id,
   result.card = applet_.last_stats();
   transport.Exchange(&applet_, end);
 
-  result.dsp_bytes_fetched = dsp_->bytes_served() - dsp_before;
+  dsp::ServiceStats dsp_after = dsp_->stats();
+  result.dsp_bytes_fetched = dsp_after.bytes_served - dsp_before.bytes_served;
+  result.dsp_round_trips = dsp_after.requests - dsp_before.requests;
   result.apdu_round_trips = transport.exchanges();
   return result;
 }

@@ -9,13 +9,14 @@
 /// of the underlying protocols (JDBC, APDU)" (§3). The proxy hosts the
 /// user's card (applet), provisions its keys from the PKI registry,
 /// drives sessions over the APDU transport, feeds container chunks
-/// fetched from the DSP, and reassembles the delivered view for the
-/// application.
+/// fetched from the DSP through the batch-first dsp::Service protocol
+/// (one OpenDocument trip, windowed prefetching chunk fetches), and
+/// reassembles the delivered view for the application.
 
 #include <memory>
 #include <string>
 
-#include "dsp/store.h"
+#include "dsp/service.h"
 #include "pki/registry.h"
 #include "soe/applet.h"
 #include "soe/apdu.h"
@@ -30,24 +31,32 @@ struct QueryOptions {
   bool use_skip = true;
   /// Enforce the modeled card RAM budget strictly.
   bool strict_ram = false;
+  /// Upper bound of the adaptive DSP prefetch window, in chunks; 1 makes
+  /// every chunk its own round trip (the pre-batching behaviour).
+  uint32_t max_prefetch = 8;
 };
 
 /// What the application receives.
 struct QueryResult {
   /// The authorized (sub)document, canonical XML.
   std::string xml;
-  /// Card-side session statistics (cost model, skips, RAM).
+  /// Card-side session statistics (cost model, skips, RAM, round trips).
   soe::SessionStats card;
   /// Terminal-side accounting.
   uint64_t dsp_bytes_fetched = 0;
+  uint64_t dsp_round_trips = 0;
   uint64_t apdu_round_trips = 0;
 };
 
 /// \brief One user's terminal with its plugged-in card.
+///
+/// `dsp` is any Service backend: the in-memory DspServer, a ShardedService
+/// fleet, or a CachingClient stacked on either — the terminal only speaks
+/// the protocol.
 class Terminal {
  public:
   /// `user` is the card holder; the card profile models the hardware.
-  Terminal(std::string user, soe::CardProfile profile, dsp::DspServer* dsp,
+  Terminal(std::string user, soe::CardProfile profile, dsp::Service* dsp,
            pki::KeyRegistry* registry);
 
   /// Fetches the user's key grant for `doc_id` from the registry and
@@ -66,7 +75,7 @@ class Terminal {
 
  private:
   std::string user_;
-  dsp::DspServer* dsp_;
+  dsp::Service* dsp_;
   pki::KeyRegistry* registry_;
   soe::CsxaApplet applet_;
 };

@@ -58,6 +58,7 @@ Result<SessionOutput> CardEngine::RunSession(const std::string& doc_id,
     // The broadcast reaches the card in full; charge it once upfront.
     cost.AddTransfer(provider->TotalWireBytes());
   }
+  uint64_t round_trips_before = provider->round_trips();
   ChunkSource source(key, header, provider, &cost,
                      /*charge_transfer=*/!options.push_mode);
   CSXA_ASSIGN_OR_RETURN(auto decoder, skipindex::DocumentDecoder::Open(&source));
@@ -86,6 +87,11 @@ Result<SessionOutput> CardEngine::RunSession(const std::string& doc_id,
   // The delivered view streams back to the terminal.
   cost.AddTransfer(writer.str().size());
   cost.AddEvaluator(ev->stats().events, ev->TotalTransitions());
+  // Every provider batch the session triggered was one terminal<->DSP
+  // request. Push mode charges none: the broadcast already arrived.
+  if (!options.push_mode) {
+    cost.AddRoundTrip(provider->round_trips() - round_trips_before);
+  }
 
   SessionOutput out;
   out.view_xml = writer.str();
@@ -93,10 +99,12 @@ Result<SessionOutput> CardEngine::RunSession(const std::string& doc_id,
   st.transfer_seconds = cost.TransferSeconds();
   st.crypto_seconds = cost.CryptoSeconds();
   st.evaluator_seconds = cost.EvaluatorSeconds();
+  st.round_trip_seconds = cost.RoundTripSeconds();
   st.total_seconds = cost.TotalSeconds();
   st.bytes_transferred = cost.bytes_transferred();
   st.bytes_decrypted = cost.bytes_decrypted();
   st.apdu_exchanges = cost.apdu_exchanges();
+  st.dsp_round_trips = cost.round_trips();
   st.chunks_fetched = source.chunks_fetched();
   st.chunks_avoided = source.chunks_avoided();
   st.bytes_skipped = fstats.bytes_skipped;

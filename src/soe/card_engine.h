@@ -46,10 +46,14 @@ struct SessionStats {
   double transfer_seconds = 0;
   double crypto_seconds = 0;
   double evaluator_seconds = 0;
+  double round_trip_seconds = 0;
   double total_seconds = 0;
   uint64_t bytes_transferred = 0;
   uint64_t bytes_decrypted = 0;
   uint64_t apdu_exchanges = 0;
+  // Terminal<->DSP requests the chunk supply performed during the session
+  // (0 in push mode: the broadcast already arrived).
+  uint64_t dsp_round_trips = 0;
   // Chunk accounting.
   uint64_t chunks_fetched = 0;
   uint64_t chunks_avoided = 0;

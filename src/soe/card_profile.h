@@ -37,6 +37,9 @@ struct CardProfile {
   double apdu_latency_sec = 0.002;
   /// Maximum APDU payload (ISO 7816-4 short form).
   size_t apdu_payload = 255;
+  /// Terminal<->DSP request latency, seconds per round trip (2005-era
+  /// broadband; batched dsp::Service requests amortize it).
+  double round_trip_latency_sec = 0.04;
 
   /// Modeled working RAM available to the application, bytes.
   size_t ram_budget = 1024;
@@ -56,6 +59,7 @@ struct CardProfile {
     p.cycles_per_event = 120.0;
     p.link_bytes_per_sec = 1.5e6;
     p.apdu_latency_sec = 0.0002;
+    p.round_trip_latency_sec = 0.005;
     p.ram_budget = 16 * 1024;
     return p;
   }

@@ -2,6 +2,33 @@
 
 namespace csxa::soe {
 
+Result<std::vector<ChunkData>> ContainerChunkProvider::FetchChunks(
+    uint32_t first, uint32_t count) {
+  std::vector<ChunkData> chunks;
+  chunks.reserve(count);
+  for (uint32_t i = first; i < first + count; ++i) {
+    ChunkData chunk;
+    CSXA_ASSIGN_OR_RETURN(Span cipher, container_->ChunkCiphertext(i));
+    chunk.ciphertext = cipher.ToBytes();
+    CSXA_ASSIGN_OR_RETURN(chunk.auth, container_->GetChunkAuth(i));
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+uint64_t ContainerChunkProvider::TotalWireBytes() const {
+  uint64_t total = crypto::ContainerHeader::kWireSize;
+  for (uint32_t i = 0; i < container_->header().chunk_count; ++i) {
+    auto cipher = container_->ChunkCiphertext(i);
+    auto auth = container_->GetChunkAuth(i);
+    if (cipher.ok() && auth.ok()) {
+      total += cipher.value().size() +
+               auth.value().WireBytes(container_->header().integrity);
+    }
+  }
+  return total;
+}
+
 ChunkSource::ChunkSource(const crypto::SymmetricKey& key,
                          const crypto::ContainerHeader& header,
                          ChunkProvider* provider, CostModel* cost,

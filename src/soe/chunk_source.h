@@ -9,6 +9,12 @@
 /// Merkle path against the root-MAC-checked header, decrypt, and serve.
 /// Skips merely advance the cursor: chunks that are entirely jumped over
 /// are neither transferred nor decrypted — the skip index's payoff.
+///
+/// The provider interface is batch-first: one GetChunks() call is one
+/// modeled terminal<->server round trip, however many chunks it carries.
+/// The card itself still consumes one chunk at a time (its RAM budget);
+/// batching happens terminal-side in soe::PrefetchingProvider, which
+/// absorbs per-chunk card requests into windowed server fetches.
 
 #include <memory>
 #include <vector>
@@ -31,15 +37,75 @@ struct ChunkData {
   }
 };
 
-/// \brief Supplies chunks by index (implemented by the proxy/DSP side).
+/// \brief Supplies chunk batches by range (implemented by the proxy/DSP
+/// side).
+///
+/// Each GetChunks() call is one modeled round trip to wherever the chunks
+/// live; implementations that serve from memory the terminal already holds
+/// (a received broadcast, a prefetch window) override round_trips()
+/// accordingly.
 class ChunkProvider {
  public:
   virtual ~ChunkProvider() = default;
-  virtual Result<ChunkData> GetChunk(uint32_t index) = 0;
+
+  /// Fetches the `count` consecutive chunks starting at `first` in one
+  /// round trip.
+  Result<std::vector<ChunkData>> GetChunks(uint32_t first, uint32_t count) {
+    ++round_trips_;
+    return FetchChunks(first, count);
+  }
+
+  /// Single-chunk convenience: a one-chunk batch (still one round trip).
+  Result<ChunkData> GetChunk(uint32_t index) {
+    CSXA_ASSIGN_OR_RETURN(std::vector<ChunkData> chunks, GetChunks(index, 1));
+    if (chunks.size() != 1) {
+      return Status::Internal("provider returned wrong batch size");
+    }
+    return std::move(chunks[0]);
+  }
+
   /// Total wire size of the full stream; used by push mode, where the
   /// broadcast reaches the card whether it decrypts it or not. 0 means
   /// unknown (pull-mode providers need not implement it).
   virtual uint64_t TotalWireBytes() const { return 0; }
+
+  /// Modeled terminal<->server round trips performed so far. Decorators
+  /// that answer from local buffers report their backend's count instead.
+  virtual uint64_t round_trips() const { return round_trips_; }
+
+ protected:
+  /// Backend fetch of the batch [first, first+count).
+  virtual Result<std::vector<ChunkData>> FetchChunks(uint32_t first,
+                                                     uint32_t count) = 0;
+
+ private:
+  uint64_t round_trips_ = 0;
+};
+
+/// \brief ChunkProvider over a parsed in-memory container.
+///
+/// Models either a remote store front-end (default: every batch is one
+/// round trip) or a broadcast buffer the terminal already received
+/// (`counts_round_trips = false`, push mode: the stream arrived whether
+/// the card wanted it or not).
+class ContainerChunkProvider : public ChunkProvider {
+ public:
+  explicit ContainerChunkProvider(const crypto::SecureContainer* container,
+                                  bool counts_round_trips = true)
+      : container_(container), counts_round_trips_(counts_round_trips) {}
+
+  uint64_t TotalWireBytes() const override;
+  uint64_t round_trips() const override {
+    return counts_round_trips_ ? ChunkProvider::round_trips() : 0;
+  }
+
+ protected:
+  Result<std::vector<ChunkData>> FetchChunks(uint32_t first,
+                                             uint32_t count) override;
+
+ private:
+  const crypto::SecureContainer* container_;
+  bool counts_round_trips_;
 };
 
 /// \brief ByteSource over the container payload with lazy chunk fetching.

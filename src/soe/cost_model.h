@@ -37,6 +37,10 @@ class CostModel {
     events_ += events;
     nfa_transitions_ += transitions;
   }
+  /// Accounts `n` terminal<->server round trips (the dsp::Service request
+  /// latency — distinct from the terminal<->card APDU link). Batched chunk
+  /// fetches exist to shrink this counter.
+  void AddRoundTrip(uint64_t n = 1) { round_trips_ += n; }
 
   /// \name Modeled time decomposition (seconds)
   /// @{
@@ -56,8 +60,12 @@ class CostModel {
         static_cast<double>(nfa_transitions_) * profile_.cycles_per_nfa_transition;
     return cycles / (profile_.cpu_mhz * 1e6);
   }
+  double RoundTripSeconds() const {
+    return static_cast<double>(round_trips_) * profile_.round_trip_latency_sec;
+  }
   double TotalSeconds() const {
-    return TransferSeconds() + CryptoSeconds() + EvaluatorSeconds();
+    return TransferSeconds() + CryptoSeconds() + EvaluatorSeconds() +
+           RoundTripSeconds();
   }
   /// @}
 
@@ -69,6 +77,7 @@ class CostModel {
   uint64_t apdu_exchanges() const { return apdu_exchanges_; }
   uint64_t events() const { return events_; }
   uint64_t nfa_transitions() const { return nfa_transitions_; }
+  uint64_t round_trips() const { return round_trips_; }
   /// @}
 
   const CardProfile& profile() const { return profile_; }
@@ -81,6 +90,7 @@ class CostModel {
   uint64_t apdu_exchanges_ = 0;
   uint64_t events_ = 0;
   uint64_t nfa_transitions_ = 0;
+  uint64_t round_trips_ = 0;
 };
 
 }  // namespace csxa::soe

@@ -1,0 +1,48 @@
+#include "soe/prefetch.h"
+
+#include <algorithm>
+
+namespace csxa::soe {
+
+Result<std::vector<ChunkData>> PrefetchingProvider::FetchChunks(
+    uint32_t first, uint32_t count) {
+  if (count == 0) return std::vector<ChunkData>{};
+
+  // Entirely inside the buffered window: no backend round trip.
+  if (!buf_.empty() && first >= buf_first_ &&
+      first + count <= buf_first_ + buf_.size()) {
+    ++window_hits_;
+    std::vector<ChunkData> out(buf_.begin() + (first - buf_first_),
+                               buf_.begin() + (first - buf_first_) + count);
+    return out;
+  }
+
+  // Window policy: sequential consumption widens, a jump (skip) collapses.
+  if (first == next_expected_) {
+    window_ = std::min(window_ * 2, options_.max_window);
+  } else {
+    window_ = 1;
+  }
+
+  uint32_t n = std::max(count, window_);
+  if (first < chunk_count_) {
+    n = std::min<uint64_t>(n, static_cast<uint64_t>(chunk_count_) - first);
+  }
+  n = std::max(n, count);  // out-of-range requests pass through untouched
+
+  CSXA_ASSIGN_OR_RETURN(std::vector<ChunkData> fetched,
+                        inner_->GetChunks(first, n));
+  ++fetches_;
+  chunks_fetched_ += fetched.size();
+  if (fetched.size() < count) {
+    return Status::Internal("backend returned short chunk batch");
+  }
+  buf_ = std::move(fetched);
+  buf_first_ = first;
+  next_expected_ = first + n;
+
+  std::vector<ChunkData> out(buf_.begin(), buf_.begin() + count);
+  return out;
+}
+
+}  // namespace csxa::soe

@@ -1,0 +1,87 @@
+#ifndef CSXA_SOE_PREFETCH_H_
+#define CSXA_SOE_PREFETCH_H_
+
+/// \file prefetch.h
+/// \brief Terminal-side prefetching decorator over a ChunkProvider.
+///
+/// The card consumes one chunk at a time (its RAM budget), but paying one
+/// terminal<->DSP round trip per chunk is exactly the per-message cost the
+/// paper calls out as a limiting factor (§2.3). PrefetchingProvider sits
+/// in the terminal between the card's per-chunk requests and the remote
+/// backend: a miss fetches a *window* of consecutive chunks in one round
+/// trip and later card requests are answered from that window for free.
+///
+/// The window is driven by the skip pattern the card's filter produces:
+///  - sequential consumption (next miss directly follows the last fetched
+///    window) doubles the window up to `max_window` — long authorized runs
+///    amortize the round trip across many chunks;
+///  - a jump (the skip filter leapt somewhere unexpected) collapses the
+///    window back to 1, so skip-heavy regions never pay for speculative
+///    chunks the card will not read.
+///
+/// Prefetched-but-unread chunks stay in the terminal buffer and never
+/// cross the APDU link, so card-side transfer and crypto costs are
+/// byte-identical with and without prefetching — only the round-trip count
+/// (and thus modeled latency) changes.
+
+#include <vector>
+
+#include "soe/chunk_source.h"
+
+namespace csxa::soe {
+
+/// Prefetch-window policy knobs.
+struct PrefetchOptions {
+  /// Upper bound of the adaptive window, in chunks. 1 disables batching
+  /// (every card request is its own round trip).
+  uint32_t max_window = 8;
+};
+
+/// \brief Windowed read-ahead over another ChunkProvider.
+class PrefetchingProvider : public ChunkProvider {
+ public:
+  /// `chunk_count` bounds read-ahead at the end of the container (the
+  /// terminal knows it from the public header).
+  PrefetchingProvider(ChunkProvider* inner, uint32_t chunk_count,
+                      PrefetchOptions options = {})
+      : inner_(inner), chunk_count_(chunk_count), options_(options) {
+    if (options_.max_window == 0) options_.max_window = 1;
+  }
+
+  uint64_t TotalWireBytes() const override { return inner_->TotalWireBytes(); }
+  /// Round trips are whatever the backend actually performed; window hits
+  /// cost none.
+  uint64_t round_trips() const override { return inner_->round_trips(); }
+
+  /// \name Window statistics
+  /// @{
+  /// Batches fetched from the backend (== backend round trips caused here).
+  uint64_t fetches() const { return fetches_; }
+  /// Requests answered entirely from the buffered window.
+  uint64_t window_hits() const { return window_hits_; }
+  /// Chunks pulled from the backend, including speculative ones.
+  uint64_t chunks_fetched() const { return chunks_fetched_; }
+  /// @}
+
+ protected:
+  Result<std::vector<ChunkData>> FetchChunks(uint32_t first,
+                                             uint32_t count) override;
+
+ private:
+  ChunkProvider* inner_;
+  uint32_t chunk_count_;
+  PrefetchOptions options_;
+
+  std::vector<ChunkData> buf_;  // window [buf_first_, buf_first_+buf_.size())
+  uint32_t buf_first_ = 0;
+  uint32_t window_ = 1;
+  uint32_t next_expected_ = 0;
+
+  uint64_t fetches_ = 0;
+  uint64_t window_hits_ = 0;
+  uint64_t chunks_fetched_ = 0;
+};
+
+}  // namespace csxa::soe
+
+#endif  // CSXA_SOE_PREFETCH_H_

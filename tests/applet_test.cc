@@ -26,7 +26,7 @@ struct AppletFixture {
   crypto::SymmetricKey key;
   Bytes header;
   Bytes sealed_rules;
-  std::unique_ptr<dsp::DspChunkProvider> provider;
+  std::unique_ptr<dsp::ServiceChunkProvider> provider;
   CsxaApplet applet{soe::CardProfile::EGate()};
 
   AppletFixture() {
@@ -39,9 +39,12 @@ struct AppletFixture {
         publisher.Publish("doc", doc, "+ u /agenda\n- u //note\n");
     CSXA_CHECK(receipt.ok());
     key = receipt.value().key;
-    header = server.GetHeader("doc").value();
-    sealed_rules = server.GetSealedRules("doc").value();
-    provider = std::make_unique<dsp::DspChunkProvider>(&server, "doc");
+    // One OpenDocument round trip: header + sealed rules together.
+    auto open = server.OpenDocument("doc");
+    CSXA_CHECK(open.ok());
+    header = open.value().header;
+    sealed_rules = open.value().sealed_rules;
+    provider = std::make_unique<dsp::ServiceChunkProvider>(&server, "doc");
     applet.SetChunkProvider(provider.get());
   }
 

@@ -16,20 +16,9 @@
 namespace csxa {
 namespace {
 
-class InMemoryProvider : public soe::ChunkProvider {
- public:
-  explicit InMemoryProvider(const crypto::SecureContainer* c) : container_(c) {}
-  Result<soe::ChunkData> GetChunk(uint32_t index) override {
-    soe::ChunkData chunk;
-    CSXA_ASSIGN_OR_RETURN(Span cipher, container_->ChunkCiphertext(index));
-    chunk.ciphertext = cipher.ToBytes();
-    CSXA_ASSIGN_OR_RETURN(chunk.auth, container_->GetChunkAuth(index));
-    return chunk;
-  }
-
- private:
-  const crypto::SecureContainer* container_;
-};
+// The shared in-memory container provider (batch protocol) keeps this
+// suite focused on the invariance property itself.
+using InMemoryProvider = soe::ContainerChunkProvider;
 
 struct InvarianceParams {
   size_t chunk_size;

@@ -158,9 +158,9 @@ TEST(IntegrationTest, DynamicRuleUpdateTakesEffect) {
   EXPECT_EQ(after.value().xml,
             RefView(xml::DocProfile::kHospital, 200, 5, rules_v2, "doctor",
                     ""));
-  auto version = w.dsp.GetRulesVersion("folder");
-  ASSERT_TRUE(version.ok());
-  EXPECT_EQ(version.value(), 2u);
+  auto open = w.dsp.OpenDocument("folder");
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open.value().rules_version, 2u);
 }
 
 TEST(IntegrationTest, StaleRulesRollbackIsRejected) {
@@ -172,7 +172,7 @@ TEST(IntegrationTest, StaleRulesRollbackIsRejected) {
   auto receipt =
       w.publisher.Publish("folder", doc, "+ doctor //patient\n");
   ASSERT_TRUE(receipt.ok());
-  Bytes permissive_blob = w.dsp.GetSealedRules("folder").value();
+  Bytes permissive_blob = w.dsp.OpenDocument("folder").value().sealed_rules;
 
   Terminal doctor("doctor", CardProfile::EGate(), &w.dsp, &w.registry);
   ASSERT_TRUE(doctor.Provision("folder").ok());
@@ -190,8 +190,7 @@ TEST(IntegrationTest, StaleRulesRollbackIsRejected) {
   // The DSP rolls back to the captured permissive blob.
   auto container = w.dsp.GetContainer("folder").value();
   ASSERT_TRUE(
-      w.dsp.PublishDocument("folder", std::move(container), permissive_blob)
-          .ok());
+      w.dsp.Publish("folder", std::move(container), permissive_blob).ok());
   auto rollback = doctor.Query("folder", QueryOptions{});
   EXPECT_FALSE(rollback.ok());
   EXPECT_EQ(rollback.status().code(), StatusCode::kIntegrityError);
@@ -206,9 +205,9 @@ TEST(IntegrationTest, DspTamperingIsDetected) {
   auto container = w.dsp.GetContainer("agenda").value();
   Bytes tampered = container;
   tampered[tampered.size() - 10] ^= 0x40;
-  auto sealed_rules = w.dsp.GetSealedRules("agenda").value();
-  ASSERT_TRUE(w.dsp.PublishDocument("agenda", std::move(tampered),
-                                    std::move(sealed_rules))
+  auto sealed_rules = w.dsp.OpenDocument("agenda").value().sealed_rules;
+  ASSERT_TRUE(w.dsp.Publish("agenda", std::move(tampered),
+                            std::move(sealed_rules))
                   .ok());
 
   Terminal u("u", CardProfile::EGate(), &w.dsp, &w.registry);

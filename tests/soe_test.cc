@@ -97,20 +97,6 @@ TEST(ApduTest, ResponseCodecRoundTrip) {
 class TestProvider : public soe::ChunkProvider {
  public:
   explicit TestProvider(const SecureContainer* c) : container_(c) {}
-  Result<ChunkData> GetChunk(uint32_t index) override {
-    ChunkData chunk;
-    CSXA_ASSIGN_OR_RETURN(Span cipher, container_->ChunkCiphertext(index));
-    chunk.ciphertext = cipher.ToBytes();
-    CSXA_ASSIGN_OR_RETURN(chunk.auth, container_->GetChunkAuth(index));
-    if (index == tamper_index_) chunk.ciphertext[0] ^= 0xFF;
-    if (index == swap_with_ok_proof_) {
-      // Substitute another chunk's ciphertext, keep this index's auth.
-      auto other = container_->ChunkCiphertext(0);
-      if (other.ok()) chunk.ciphertext = other.value().ToBytes();
-    }
-    ++fetches_;
-    return chunk;
-  }
   uint64_t TotalWireBytes() const override {
     uint64_t total = crypto::ContainerHeader::kWireSize;
     for (uint32_t i = 0; i < container_->header().chunk_count; ++i) {
@@ -126,6 +112,27 @@ class TestProvider : public soe::ChunkProvider {
   uint32_t tamper_index_ = UINT32_MAX;
   uint32_t swap_with_ok_proof_ = UINT32_MAX;
   size_t fetches_ = 0;
+
+ protected:
+  Result<std::vector<ChunkData>> FetchChunks(uint32_t first,
+                                             uint32_t count) override {
+    std::vector<ChunkData> chunks;
+    for (uint32_t index = first; index < first + count; ++index) {
+      ChunkData chunk;
+      CSXA_ASSIGN_OR_RETURN(Span cipher, container_->ChunkCiphertext(index));
+      chunk.ciphertext = cipher.ToBytes();
+      CSXA_ASSIGN_OR_RETURN(chunk.auth, container_->GetChunkAuth(index));
+      if (index == tamper_index_) chunk.ciphertext[0] ^= 0xFF;
+      if (index == swap_with_ok_proof_) {
+        // Substitute another chunk's ciphertext, keep this index's auth.
+        auto other = container_->ChunkCiphertext(0);
+        if (other.ok()) chunk.ciphertext = other.value().ToBytes();
+      }
+      ++fetches_;
+      chunks.push_back(std::move(chunk));
+    }
+    return chunks;
+  }
 
  private:
   const SecureContainer* container_;

@@ -1,0 +1,341 @@
+// Transport-layer tests for the batch-first dsp::Service protocol: round
+// trip accounting of batched vs per-chunk fetches (byte-identical views),
+// sharded routing and failover, caching revalidation, and the prefetch
+// window contract.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "dsp/caching.h"
+#include "dsp/service.h"
+#include "dsp/sharded.h"
+#include "dsp/store.h"
+#include "pki/registry.h"
+#include "proxy/publisher.h"
+#include "proxy/terminal.h"
+#include "soe/prefetch.h"
+#include "xml/generator.h"
+
+namespace csxa {
+namespace {
+
+using proxy::Publisher;
+using proxy::QueryOptions;
+using proxy::Terminal;
+using soe::CardProfile;
+
+xml::DomDocument MakeDoc(size_t elements, uint64_t seed) {
+  xml::GeneratorParams gp;
+  gp.profile = xml::DocProfile::kHospital;
+  gp.target_elements = elements;
+  gp.seed = seed;
+  gp.text_avg_len = 48;
+  return xml::GenerateDocument(gp);
+}
+
+// --- Round-trip accounting -------------------------------------------------
+
+TEST(TransportTest, BatchedFetchesCutRoundTripsByteIdentically) {
+  dsp::DspServer dsp;
+  pki::KeyRegistry registry;
+  Publisher publisher(&dsp, &registry, 11);
+  proxy::PublishOptions popt;
+  popt.chunk_size = 128;  // fine chunks: many fetches, many skips
+  ASSERT_TRUE(publisher
+                  .Publish("h", MakeDoc(1500, 5),
+                           "+ u //patient/admin\n", popt)
+                  .ok());
+
+  Terminal per_chunk("u", CardProfile::EGate(), &dsp, &registry);
+  ASSERT_TRUE(per_chunk.Provision("h").ok());
+  QueryOptions q1;
+  q1.max_prefetch = 1;  // every chunk is its own round trip
+  auto a = per_chunk.Query("h", q1);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  Terminal batched("u", CardProfile::EGate(), &dsp, &registry);
+  ASSERT_TRUE(batched.Provision("h").ok());
+  QueryOptions q8;
+  q8.max_prefetch = 8;
+  auto b = batched.Query("h", q8);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  // Same delivered view, byte for byte.
+  EXPECT_EQ(a.value().xml, b.value().xml);
+  // Prefetched-but-unread chunks never cross the card link: transfer and
+  // crypto costs are identical — only the round-trip count moves.
+  EXPECT_EQ(a.value().card.bytes_transferred, b.value().card.bytes_transferred);
+  EXPECT_EQ(a.value().card.bytes_decrypted, b.value().card.bytes_decrypted);
+  EXPECT_DOUBLE_EQ(a.value().card.crypto_seconds, b.value().card.crypto_seconds);
+  EXPECT_DOUBLE_EQ(a.value().card.transfer_seconds,
+                   b.value().card.transfer_seconds);
+  // Strictly fewer modeled round trips, hence strictly less modeled time.
+  EXPECT_GT(a.value().card.dsp_round_trips, 0u);
+  EXPECT_LT(b.value().card.dsp_round_trips, a.value().card.dsp_round_trips);
+  EXPECT_LT(b.value().card.round_trip_seconds,
+            a.value().card.round_trip_seconds);
+  EXPECT_LT(b.value().card.total_seconds, a.value().card.total_seconds);
+  EXPECT_LT(b.value().dsp_round_trips, a.value().dsp_round_trips);
+}
+
+TEST(TransportTest, OpenDocumentIsOneRoundTrip) {
+  dsp::DspServer dsp;
+  pki::KeyRegistry registry;
+  Publisher publisher(&dsp, &registry, 12);
+  ASSERT_TRUE(publisher.Publish("d", MakeDoc(100, 6), "+ u /hospital\n").ok());
+
+  uint64_t before = dsp.stats().requests;
+  auto open = dsp.OpenDocument("d");
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(dsp.stats().requests, before + 1);
+  EXPECT_FALSE(open.value().header.empty());
+  EXPECT_FALSE(open.value().sealed_rules.empty());
+  EXPECT_EQ(open.value().rules_version, 1u);
+}
+
+// --- Sharded backend -------------------------------------------------------
+
+TEST(TransportTest, ShardedRoutingPlacesEachDocOnItsHomeShard) {
+  dsp::DspServer s0, s1, s2;
+  dsp::ShardedService sharded({&s0, &s1, &s2});
+  pki::KeyRegistry registry;
+  Publisher publisher(&sharded, &registry, 13);
+
+  const char* ids[] = {"alpha", "bravo", "charlie", "delta", "echo", "fox"};
+  for (const char* id : ids) {
+    ASSERT_TRUE(publisher.Publish(id, MakeDoc(60, 7), "+ u /hospital\n").ok());
+  }
+  EXPECT_EQ(s0.size() + s1.size() + s2.size(), 6u);
+
+  // Each document lives on exactly its home shard, and reads route there.
+  dsp::DspServer* shards[] = {&s0, &s1, &s2};
+  for (const char* id : ids) {
+    size_t home = sharded.ShardFor(id);
+    uint64_t home_before = shards[home]->stats().requests;
+    ASSERT_TRUE(sharded.OpenDocument(id).ok());
+    EXPECT_EQ(shards[home]->stats().requests, home_before + 1) << id;
+  }
+  EXPECT_EQ(sharded.failovers(), 0u);
+
+  // The full stack works against a sharded fleet.
+  Terminal u("u", CardProfile::EGate(), &sharded, &registry);
+  ASSERT_TRUE(u.Provision("alpha").ok());
+  auto result = u.Query("alpha", QueryOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().xml.empty());
+
+  // Per-shard request accounting covers every shard that owns documents.
+  uint64_t routed = 0;
+  for (uint64_t n : sharded.shard_requests()) routed += n;
+  EXPECT_GE(routed, 6u);
+  EXPECT_EQ(sharded.stats().documents, 6u);
+}
+
+TEST(TransportTest, ShardedFailoverFindsMisplacedDocs) {
+  dsp::DspServer s0, s1;
+  dsp::ShardedService sharded({&s0, &s1});
+
+  // Plant a document directly on the shard that is NOT its home (as after
+  // a shard-count change): the router must fail over and find it.
+  const std::string doc_id = "misplaced";
+  size_t home = sharded.ShardFor(doc_id);
+  dsp::DspServer* wrong = (home == 0) ? &s1 : &s0;
+  Rng rng(1);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  Bytes payload(700, 0x42);
+  Bytes container = crypto::SecureContainer::Seal(key, payload, 256, &rng);
+  ASSERT_TRUE(wrong->Publish(doc_id, container, Bytes{1}).ok());
+
+  auto open = sharded.OpenDocument(doc_id);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_EQ(open.value().sealed_rules, (Bytes{1}));
+  EXPECT_EQ(sharded.failovers(), 1u);
+
+  // A document on no shard is NotFound after probing everywhere.
+  EXPECT_EQ(sharded.OpenDocument("nowhere").status().code(),
+            StatusCode::kNotFound);
+}
+
+// --- Caching client --------------------------------------------------------
+
+TEST(TransportTest, CachingClientRevalidatesByRulesVersion) {
+  dsp::DspServer dsp;
+  dsp::CachingClient cached(&dsp);
+  pki::KeyRegistry registry;
+  Publisher publisher(&dsp, &registry, 14);  // writes bypass the cache
+  auto receipt = publisher.Publish("folder", MakeDoc(200, 8),
+                                   "+ doctor //patient\n");
+  ASSERT_TRUE(receipt.ok());
+
+  Terminal doctor("doctor", CardProfile::EGate(), &cached, &registry);
+  ASSERT_TRUE(doctor.Provision("folder").ok());
+
+  auto first = doctor.Query("folder", QueryOptions{});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cached.misses(), 1u);
+
+  // Unchanged policy: the second open is a tiny not-modified revalidation
+  // served from the cache — fewer DSP bytes for the same view.
+  auto second = doctor.Query("folder", QueryOptions{});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cached.hits(), 1u);
+  EXPECT_EQ(second.value().xml, first.value().xml);
+  EXPECT_LT(second.value().dsp_bytes_fetched, first.value().dsp_bytes_fetched);
+  EXPECT_EQ(dsp.stats().not_modified, 1u);
+
+  // A policy update bumps the version even though it went straight to the
+  // backend: revalidation invalidates and the new view takes effect.
+  ASSERT_TRUE(publisher
+                  .UpdateRules("folder", receipt.value().key,
+                               "+ doctor //patient\n- doctor //patient/ssn\n")
+                  .ok());
+  auto third = doctor.Query("folder", QueryOptions{});
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(cached.invalidations(), 1u);
+  EXPECT_EQ(third.value().xml.find("<ssn>"), std::string::npos);
+  EXPECT_NE(first.value().xml.find("<ssn>"), std::string::npos);
+}
+
+TEST(TransportTest, CachingClientSurvivesRepublish) {
+  // Republishing a document under the same id must bump the rules version
+  // so the version-keyed cache cannot serve the old header against the new
+  // container's chunks.
+  dsp::DspServer dsp;
+  dsp::CachingClient cached(&dsp);
+  pki::KeyRegistry registry;
+  Publisher publisher(&dsp, &registry, 15);
+  ASSERT_TRUE(
+      publisher.Publish("d", MakeDoc(150, 9), "+ u //patient\n").ok());
+
+  Terminal u("u", CardProfile::EGate(), &cached, &registry);
+  ASSERT_TRUE(u.Provision("d").ok());
+  ASSERT_TRUE(u.Query("d", QueryOptions{}).ok());  // caches {header, v1}
+
+  // Same id, brand-new content and key (fresh publication).
+  ASSERT_TRUE(
+      publisher.Publish("d", MakeDoc(300, 10), "+ u //patient\n").ok());
+  ASSERT_TRUE(u.Provision("d").ok());  // pick up the new key grant
+  EXPECT_GT(dsp.OpenDocument("d").value().rules_version, 1u);
+  auto after = u.Query("d", QueryOptions{});
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(cached.invalidations(), 1u);
+  EXPECT_FALSE(after.value().xml.empty());
+}
+
+TEST(TransportTest, ShardedPublishAndRemoveClearStaleCopies) {
+  dsp::DspServer s0, s1;
+  dsp::ShardedService sharded({&s0, &s1});
+  const std::string doc_id = "drifter";
+  size_t home = sharded.ShardFor(doc_id);
+  dsp::DspServer* wrong = (home == 0) ? &s1 : &s0;
+
+  Rng rng(2);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  Bytes stale = crypto::SecureContainer::Seal(key, Bytes(600, 0x11), 256, &rng);
+  ASSERT_TRUE(wrong->Publish(doc_id, stale, Bytes{1}).ok());
+
+  // Republishing through the router supersedes the misplaced copy: reads
+  // must never fail over to it again.
+  Bytes fresh = crypto::SecureContainer::Seal(key, Bytes(900, 0x22), 256, &rng);
+  ASSERT_TRUE(sharded.Publish(doc_id, fresh, Bytes{2}).ok());
+  EXPECT_EQ(wrong->size(), 0u);
+  auto open = sharded.OpenDocument(doc_id);
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open.value().sealed_rules, (Bytes{2}));
+  EXPECT_EQ(sharded.failovers(), 0u);
+
+  // Removal leaves no copy behind on any shard.
+  ASSERT_TRUE(sharded.Remove(doc_id).ok());
+  EXPECT_EQ(sharded.OpenDocument(doc_id).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(s0.size() + s1.size(), 0u);
+}
+
+TEST(TransportTest, ShardedFailedPublishKeepsExistingCopies) {
+  // A rejected publish must not destroy the only copy of the document
+  // (the home shard is written first; stale clears happen on success).
+  dsp::DspServer s0, s1;
+  dsp::ShardedService sharded({&s0, &s1});
+  const std::string doc_id = "survivor";
+  size_t home = sharded.ShardFor(doc_id);
+  dsp::DspServer* wrong = (home == 0) ? &s1 : &s0;
+
+  Rng rng(3);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  Bytes good = crypto::SecureContainer::Seal(key, Bytes(600, 0x33), 256, &rng);
+  ASSERT_TRUE(wrong->Publish(doc_id, good, Bytes{5}).ok());
+
+  EXPECT_FALSE(sharded.Publish(doc_id, Bytes{1, 2, 3}, Bytes{}).ok());
+  auto open = sharded.OpenDocument(doc_id);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_EQ(open.value().sealed_rules, (Bytes{5}));
+}
+
+// --- Prefetch window contract ----------------------------------------------
+
+// Counts backend batches without any store behind it.
+class CountingProvider : public soe::ChunkProvider {
+ public:
+  explicit CountingProvider(uint32_t chunk_count) : chunk_count_(chunk_count) {}
+  size_t batches = 0;
+
+ protected:
+  Result<std::vector<soe::ChunkData>> FetchChunks(uint32_t first,
+                                                  uint32_t count) override {
+    if (first + count > chunk_count_) {
+      return Status::NotFound("chunk out of range");
+    }
+    ++batches;
+    std::vector<soe::ChunkData> chunks;
+    for (uint32_t i = first; i < first + count; ++i) {
+      soe::ChunkData chunk;
+      chunk.ciphertext = Bytes{static_cast<uint8_t>(i)};
+      chunks.push_back(std::move(chunk));
+    }
+    return chunks;
+  }
+
+ private:
+  uint32_t chunk_count_;
+};
+
+TEST(TransportTest, PrefetchWindowGrowsSequentiallyAndCollapsesOnJumps) {
+  CountingProvider backend(16);
+  soe::PrefetchOptions opt;
+  opt.max_window = 8;
+  soe::PrefetchingProvider prefetch(&backend, /*chunk_count=*/16, opt);
+
+  // Sequential scan of all 16 chunks: windows 2,4,8,2 -> 4 backend
+  // batches instead of 16, and every chunk comes back intact.
+  for (uint32_t i = 0; i < 16; ++i) {
+    auto chunk = prefetch.GetChunk(i);
+    ASSERT_TRUE(chunk.ok()) << i;
+    EXPECT_EQ(chunk.value().ciphertext[0], static_cast<uint8_t>(i));
+  }
+  EXPECT_EQ(backend.batches, 4u);
+  EXPECT_EQ(prefetch.round_trips(), 4u);
+  EXPECT_EQ(prefetch.chunks_fetched(), 16u);
+  EXPECT_GT(prefetch.window_hits(), 0u);
+
+  // A jump back (skip pattern) collapses the window to one chunk.
+  size_t before = backend.batches;
+  ASSERT_TRUE(prefetch.GetChunk(3).ok());
+  EXPECT_EQ(backend.batches, before + 1);
+  EXPECT_EQ(prefetch.chunks_fetched(), 17u);  // exactly one speculative-free chunk
+
+  // Out-of-range propagates the backend error.
+  EXPECT_FALSE(prefetch.GetChunk(99).ok());
+}
+
+TEST(TransportTest, PrefetchWindowOneIsPerChunk) {
+  CountingProvider backend(6);
+  soe::PrefetchOptions opt;
+  opt.max_window = 1;
+  soe::PrefetchingProvider prefetch(&backend, 6, opt);
+  for (uint32_t i = 0; i < 6; ++i) ASSERT_TRUE(prefetch.GetChunk(i).ok());
+  EXPECT_EQ(backend.batches, 6u);
+  EXPECT_EQ(prefetch.round_trips(), 6u);
+}
+
+}  // namespace
+}  // namespace csxa
