@@ -49,6 +49,11 @@ void AblationPending() {
     }
     table.AddRow({Fmt("%d%%", p), Fmt("%zu", pending), Fmt("%zu", buffered),
                   Fmt("%zu", obligations), Fmt("%zu", ram)});
+    const std::string tag = Fmt("ablation/pending/pred_%d", p);
+    JsonReport::Get().AddValue(tag + "/pending_nodes",
+                               static_cast<double>(pending));
+    JsonReport::Get().AddValue(tag + "/ram_peak_bytes",
+                               static_cast<double>(ram));
   }
   table.Print();
   std::printf("expected shape: with no predicates nothing is ever pending; "
@@ -125,6 +130,12 @@ void AblationTagSets() {
          Fmt("%.0f%%", full == 0 ? 0.0
                                  : 100.0 * (1.0 - static_cast<double>(size_only) /
                                                       static_cast<double>(full)))});
+    JsonReport::Get().AddValue(
+        std::string("ablation/tagsets/") + c.label + "/full_skipped_bytes",
+        static_cast<double>(full));
+    JsonReport::Get().AddValue(
+        std::string("ablation/tagsets/") + c.label + "/size_only_skipped_bytes",
+        static_cast<double>(size_only));
   }
   table.Print();
   std::printf("expected shape: without tag sets the engine only skips "
@@ -148,6 +159,10 @@ void AblationRecursive() {
                   Fmt("%llu", (unsigned long long)out.stats.bytes_transferred),
                   Fmt("%llu", (unsigned long long)out.stats.bytes_decrypted),
                   Fmt("%.2f", out.stats.total_seconds)});
+    const std::string tag =
+        std::string("ablation/bitmaps/") + (recursive ? "recursive" : "flat");
+    JsonReport::Get().Add(tag, out.stats.total_seconds * 1e9, 0.0, 0.0,
+                          static_cast<double>(fx.container_bytes.size()));
   }
   table.Print();
   std::printf("expected shape: flat bitmaps inflate every open token, so "

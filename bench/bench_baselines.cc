@@ -85,6 +85,17 @@ int main() {
                   Fmt("%.2f", subset_seconds),
                   Fmt("%.2fx", without.stats.total_seconds /
                                    with.stats.total_seconds)});
+    std::string slug = label;
+    for (char& c : slug) {
+      if (c == ' ' || c == '/') c = '_';
+    }
+    const std::string tag = "baselines/" + slug;
+    JsonReport::Get().Add(tag + "/csxa_skip", with.stats.total_seconds * 1e9);
+    JsonReport::Get().Add(tag + "/csxa_noskip",
+                          without.stats.total_seconds * 1e9);
+    JsonReport::Get().Add(tag + "/server_acl",
+                          srv.value().modeled_seconds * 1e9);
+    JsonReport::Get().Add(tag + "/subset_enc", subset_seconds * 1e9);
   }
   table.Print();
   std::printf(

@@ -19,3 +19,14 @@ ctest --output-on-failure -j "$(nproc)"
 # The transport layer (dsp::Service protocol, sharding, caching,
 # prefetching) gates separately so a regression names itself in CI logs.
 ctest --output-on-failure -L transport
+cd ..
+
+# ThreadSanitizer pass over the serving-stack suites: the transport and
+# concurrency labels exercise the shared caches, sharded stores and the
+# async dispatcher from many threads — TSan turns latent races into
+# failures. Separate build dir (instrumentation is ABI-incompatible);
+# benches and examples are skipped to keep the instrumented build small.
+cmake -B build-tsan -S . -DCSXA_SANITIZE=thread \
+  -DCSXA_BUILD_BENCH=OFF -DCSXA_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j
+(cd build-tsan && ctest --output-on-failure -L "transport|concurrency")

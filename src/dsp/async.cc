@@ -1,0 +1,121 @@
+#include "dsp/async.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace csxa::dsp {
+
+AsyncDispatcher::AsyncDispatcher(Service* backend)
+    : AsyncDispatcher(backend, Options()) {}
+
+AsyncDispatcher::AsyncDispatcher(Service* backend, Options options)
+    : backend_(backend), options_(options) {
+  CSXA_CHECK(backend_ != nullptr);
+  if (options_.workers == 0) options_.workers = 1;
+  queues_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    queues_.push_back(std::make_unique<Lane>());
+  }
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+AsyncDispatcher::~AsyncDispatcher() {
+  stopping_.store(true, std::memory_order_release);
+  for (auto& lane : queues_) {
+    // Acquire the lane lock so a worker blocked between its empty-check
+    // and its wait cannot miss the wake-up.
+    std::lock_guard lock(lane->mu);
+    lane->cv.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t AsyncDispatcher::LaneFor(const std::string& doc_id) const {
+  // Same stable FNV-1a as ShardedService::ShardFor: one document, one
+  // lane — per-document FIFO regardless of which thread submits.
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : doc_id) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h % queues_.size());
+}
+
+std::future<Result<Response>> AsyncDispatcher::Submit(Request request) {
+  Job job;
+  job.request = std::move(request);
+  std::future<Result<Response>> future = job.promise.get_future();
+  Lane& lane = *queues_[LaneFor(job.request.doc_id)];
+  {
+    std::lock_guard lock(lane.mu);
+    lane.jobs.push_back(std::move(job));
+  }
+  lane.cv.notify_one();
+  return future;
+}
+
+void AsyncDispatcher::WorkerLoop(size_t lane_index) {
+  Lane& lane = *queues_[lane_index];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(lane.mu);
+      lane.cv.wait(lock, [&] {
+        return !lane.jobs.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (lane.jobs.empty()) return;  // stopping and drained
+      job = std::move(lane.jobs.front());
+      lane.jobs.pop_front();
+    }
+    Result<Response> result = backend_->Execute(std::move(job.request));
+    // Charge the lane's modeled clock: fixed admission cost plus the
+    // response payload at server bandwidth. Errors still cost admission.
+    double seconds = options_.per_request_seconds;
+    if (result.ok() && options_.server_bytes_per_second > 0) {
+      seconds += static_cast<double>(result.value().wire_bytes) /
+                 options_.server_bytes_per_second;
+    }
+    lane.busy_ns.fetch_add(static_cast<uint64_t>(std::llround(seconds * 1e9)),
+                           std::memory_order_relaxed);
+    lane.executed.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(std::move(result));
+  }
+}
+
+std::vector<double> AsyncDispatcher::lane_busy_seconds() const {
+  std::vector<double> out;
+  out.reserve(queues_.size());
+  for (const auto& lane : queues_) {
+    out.push_back(
+        static_cast<double>(lane->busy_ns.load(std::memory_order_relaxed)) /
+        1e9);
+  }
+  return out;
+}
+
+double AsyncDispatcher::modeled_busy_seconds() const {
+  double total = 0;
+  for (double s : lane_busy_seconds()) total += s;
+  return total;
+}
+
+double AsyncDispatcher::modeled_makespan_seconds() const {
+  double max = 0;
+  for (double s : lane_busy_seconds()) max = std::max(max, s);
+  return max;
+}
+
+uint64_t AsyncDispatcher::executed() const {
+  uint64_t n = 0;
+  for (const auto& lane : queues_) {
+    n += lane->executed.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+}  // namespace csxa::dsp

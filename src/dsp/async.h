@@ -1,0 +1,126 @@
+#ifndef CSXA_DSP_ASYNC_H_
+#define CSXA_DSP_ASYNC_H_
+
+/// \file async.h
+/// \brief Asynchronous batched execution behind the Service protocol.
+///
+/// A real DSP front-end serves many tenants at once; executing every
+/// request inline on the caller's thread means one terminal's slow
+/// full-container fetch head-of-line-blocks another tenant's tiny
+/// revalidation. AsyncDispatcher puts a fixed thread pool between the
+/// protocol and a backend Service:
+///
+///  - Submit(Request) enqueues and returns a future<Result<Response>>;
+///    the caller overlaps its own work (or other submissions) with the
+///    server-side execution.
+///  - Requests are routed to per-worker queues by a stable FNV-1a hash of
+///    the doc_id — the same scheme ShardedService routes with — so all
+///    operations on one document execute in submission order (per-document
+///    FIFO), while different documents never queue behind each other
+///    unless they happen to share a lane.
+///  - Execute() is Submit().get(): the dispatcher is itself a Service, so
+///    the decorator stack (CachingClient, ShardedService) composes around
+///    it unchanged.
+///
+/// The dispatcher also keeps the modeled server-side clock: each executed
+/// request charges its lane a fixed per-request overhead plus its
+/// response's wire_bytes at the modeled server bandwidth. The modeled
+/// makespan (busiest lane) is what the load harness divides by to get
+/// aggregate throughput — on a machine with few real cores, the modeled
+/// clock is what scales with worker count, exactly like the modeled card
+/// costs elsewhere in this repo.
+///
+/// Threading: Submit() is safe from any thread. The backend must be
+/// thread-safe (DspServer, ShardedService and CachingClient are); workers
+/// call it concurrently. Destruction drains every queued request before
+/// joining, so no future is ever abandoned.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dsp/service.h"
+
+namespace csxa::dsp {
+
+/// \brief Thread-pool Service decorator with per-shard work queues and a
+/// future-returning submission API.
+class AsyncDispatcher : public Service {
+ public:
+  struct Options {
+    /// Worker threads == work queues. 1 reproduces the synchronous,
+    /// single-threaded server (the load harness's baseline).
+    size_t workers = 4;
+    /// Modeled fixed server-side cost of admitting and parsing one
+    /// request (queueing, lookup, framing).
+    double per_request_seconds = 200e-6;
+    /// Modeled server-side serialization bandwidth applied to each
+    /// response's wire_bytes.
+    double server_bytes_per_second = 100e6;
+  };
+
+  /// `backend` must be thread-safe and outlive the dispatcher.
+  AsyncDispatcher(Service* backend, Options options);
+  explicit AsyncDispatcher(Service* backend);  // default Options
+  ~AsyncDispatcher() override;
+
+  /// Enqueues `request` on its document's lane and returns immediately.
+  std::future<Result<Response>> Submit(Request request);
+
+  /// Synchronous convenience: Submit + wait. Keeps the dispatcher a
+  /// drop-in Service for callers that don't overlap requests.
+  Result<Response> Execute(Request request) override {
+    return Submit(std::move(request)).get();
+  }
+  ServiceStats stats() const override { return backend_->stats(); }
+
+  size_t worker_count() const { return queues_.size(); }
+  /// Lane a document's requests execute on (stable across the run).
+  size_t LaneFor(const std::string& doc_id) const;
+
+  /// \name Modeled server-side clock
+  /// @{
+  /// Modeled busy seconds accumulated per worker lane.
+  std::vector<double> lane_busy_seconds() const;
+  /// Sum over lanes: total modeled server work.
+  double modeled_busy_seconds() const;
+  /// Busiest lane: the modeled wall-clock the fleet needed. Throughput =
+  /// operations / makespan.
+  double modeled_makespan_seconds() const;
+  /// Requests executed so far.
+  uint64_t executed() const;
+  /// @}
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<Result<Response>> promise;
+  };
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> jobs;
+    // Modeled busy time, in nanoseconds (atomic: written by the lane's
+    // worker, read by reporting threads).
+    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> executed{0};
+  };
+
+  void WorkerLoop(size_t lane_index);
+
+  Service* backend_;
+  Options options_;
+  std::vector<std::unique_ptr<Lane>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace csxa::dsp
+
+#endif  // CSXA_DSP_ASYNC_H_

@@ -14,8 +14,20 @@
 /// updates (another terminal, the owner, even a DSP restore) are picked up
 /// on the next session; the card's own anti-rollback anchor still guards
 /// against a lying backend.
+///
+/// Threading: safe for concurrent Execute() from many terminal sessions.
+/// Cache lookups take a shared lock; fills, invalidations and the
+/// write-path erase take it exclusively. The backend call itself runs
+/// outside any lock, so a slow fetch never serializes other sessions'
+/// cache hits. A fill never overwrites a newer entry with an older racing
+/// response (versions only move forward), and a hit is returned only when
+/// the backend confirmed the cached version is *currently* live — so a
+/// served pair is never stale at serve time and never torn (header, rules
+/// and version are installed together from one atomic server reply).
 
+#include <atomic>
 #include <map>
+#include <shared_mutex>
 #include <string>
 
 #include "dsp/service.h"
@@ -34,10 +46,21 @@ class CachingClient : public Service {
 
   /// \name Cache statistics
   /// @{
-  uint64_t hits() const { return hits_; }          ///< served after not-modified
-  uint64_t misses() const { return misses_; }      ///< first fetch of a doc
-  uint64_t invalidations() const { return invalidations_; }  ///< version moved
+  /// Served after not-modified.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// First fetch of a doc.
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Version moved (or entry vanished server-side).
+  uint64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
   /// @}
+
+  /// Number of cached documents (tests).
+  size_t cache_size() const {
+    std::shared_lock lock(mu_);
+    return cache_.size();
+  }
 
  private:
   struct CacheEntry {
@@ -47,10 +70,11 @@ class CachingClient : public Service {
   };
 
   Service* backend_;
+  mutable std::shared_mutex mu_;  // guards cache_
   std::map<std::string, CacheEntry> cache_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t invalidations_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> invalidations_{0};
 };
 
 }  // namespace csxa::dsp

@@ -5,8 +5,10 @@
 namespace csxa::dsp {
 
 ShardedService::ShardedService(std::vector<Service*> shards)
-    : shards_(std::move(shards)), shard_requests_(shards_.size(), 0) {
+    : shards_(std::move(shards)),
+      shard_requests_(new std::atomic<uint64_t>[shards_.size()]) {
   CSXA_CHECK(!shards_.empty());
+  for (size_t i = 0; i < shards_.size(); ++i) shard_requests_[i] = 0;
 }
 
 size_t ShardedService::ShardFor(const std::string& doc_id) const {
@@ -19,8 +21,19 @@ size_t ShardedService::ShardFor(const std::string& doc_id) const {
   return static_cast<size_t>(h % shards_.size());
 }
 
+std::vector<uint64_t> ShardedService::shard_requests() const {
+  std::vector<uint64_t> out(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out[i] = shard_requests_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 Result<Response> ShardedService::Execute(Request request) {
   size_t home = ShardFor(request.doc_id);
+  auto count = [this](size_t shard) {
+    shard_requests_[shard].fetch_add(1, std::memory_order_relaxed);
+  };
 
   // Publishing lands on the home shard — and must then clear any copy a
   // non-home shard still holds from an older layout, or reads could fail
@@ -30,17 +43,26 @@ Result<Response> ShardedService::Execute(Request request) {
     Request clear;
     clear.op = Op::kRemove;
     clear.doc_id = request.doc_id;
-    ++shard_requests_[home];
+    count(home);
     Result<Response> published = shards_[home]->Execute(std::move(request));
     if (!published.ok()) return published;
+    // Version 1 means the home shard had never seen this id (no live copy,
+    // no tombstone): if the sweep still finds a copy elsewhere, the
+    // document resided purely off-home under an older layout.
+    const bool home_missed = published.value().rules_version <= 1;
+    bool cleared_elsewhere = false;
     for (size_t i = 0; i < shards_.size(); ++i) {
       if (i == home) continue;
-      ++shard_requests_[i];
+      count(i);
       Result<Response> cleared = shards_[i]->Execute(clear);
-      if (!cleared.ok() &&
-          cleared.status().code() != StatusCode::kNotFound) {
+      if (cleared.ok()) {
+        cleared_elsewhere = true;
+      } else if (cleared.status().code() != StatusCode::kNotFound) {
         return cleared;
       }
+    }
+    if (cleared_elsewhere && home_missed) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
     }
     return published;
   }
@@ -48,34 +70,41 @@ Result<Response> ShardedService::Execute(Request request) {
   // Removal sweeps every shard: a delete must not leave a resurrectable
   // copy behind a failover.
   if (request.op == Op::kRemove) {
-    bool removed = false;
+    bool home_held = false;
+    bool non_home_held = false;
     for (size_t i = 0; i < shards_.size(); ++i) {
-      ++shard_requests_[i];
+      count(i);
       Result<Response> probe = shards_[i]->Execute(request);
       if (probe.ok()) {
-        if (i != home) ++failovers_;
-        removed = true;
+        (i == home ? home_held : non_home_held) = true;
       } else if (probe.status().code() != StatusCode::kNotFound) {
         return probe;
       }
     }
-    if (!removed) return Status::NotFound("document " + request.doc_id);
+    if (!home_held && !non_home_held) {
+      return Status::NotFound("document " + request.doc_id);
+    }
+    // Old-layout residency evidence only when the home shard missed; a
+    // home hit means routing worked and the sweep was pure hygiene.
+    if (non_home_held && !home_held) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+    }
     return Response{};
   }
 
   // Reads and in-place writes: home first, then fail over to the shards
   // that might still hold a document placed under an older layout.
-  ++shard_requests_[home];
+  count(home);
   Result<Response> result = shards_[home]->Execute(request);
   if (result.ok() || result.status().code() != StatusCode::kNotFound) {
     return result;
   }
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (i == home) continue;
-    ++shard_requests_[i];
+    count(i);
     Result<Response> probe = shards_[i]->Execute(request);
     if (probe.ok()) {
-      ++failovers_;
+      failovers_.fetch_add(1, std::memory_order_relaxed);
       return probe;
     }
     if (probe.status().code() != StatusCode::kNotFound) return probe;

@@ -13,7 +13,18 @@
 /// copies elsewhere; removal sweeps every shard — so failover can never
 /// resurrect a superseded or deleted document. Terminals are oblivious —
 /// they speak the same Execute() protocol to one shard or to a fleet.
+///
+/// Threading: the router holds no mutable routing state — only atomic
+/// counters — so concurrent Execute() calls are safe as long as the
+/// backend shards are themselves thread-safe (DspServer is). Multi-shard
+/// writes (publish-then-clear, remove sweep) are NOT atomic across
+/// shards: a racing reader can observe the intermediate state, which is
+/// the same window a crashed-and-recovered sweep would leave; the
+/// version-keyed revalidation protocol keeps that window safe (a reader
+/// can see the old or the new version, never a torn mix of both).
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,18 +48,24 @@ class ShardedService : public Service {
 
   /// \name Routing statistics
   /// @{
-  /// Requests issued to each shard (including failover probes).
-  const std::vector<uint64_t>& shard_requests() const {
-    return shard_requests_;
+  /// Requests issued to each shard (including failover probes); a
+  /// point-in-time snapshot under concurrency.
+  std::vector<uint64_t> shard_requests() const;
+  /// Operations that found the document on a non-home shard while the
+  /// home shard missed — evidence of old-layout residency. Counted at
+  /// most once per operation: read failovers, remove sweeps that only
+  /// hit elsewhere, and publishes that cleared a stale non-home copy of
+  /// an id the home shard had never seen.
+  uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
   }
-  /// Requests served by a shard other than the document's home shard.
-  uint64_t failovers() const { return failovers_; }
   /// @}
 
  private:
   std::vector<Service*> shards_;
-  std::vector<uint64_t> shard_requests_;
-  uint64_t failovers_ = 0;
+  // Atomic per-shard counters: the router itself is lock-free.
+  std::unique_ptr<std::atomic<uint64_t>[]> shard_requests_;
+  std::atomic<uint64_t> failovers_{0};
 };
 
 }  // namespace csxa::dsp

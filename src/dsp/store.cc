@@ -1,5 +1,7 @@
 #include "dsp/store.h"
 
+#include <mutex>
+
 namespace csxa::dsp {
 
 namespace {
@@ -9,7 +11,7 @@ constexpr uint64_t kRevalidationWireBytes = 16;
 }  // namespace
 
 Result<Response> DspServer::OpenDocumentImpl(const Request& request,
-                                             const Entry& entry) {
+                                             const Entry& entry) const {
   Response resp;
   resp.rules_version = entry.rules_version;
   if (request.known_rules_version != 0 &&
@@ -18,7 +20,7 @@ Result<Response> DspServer::OpenDocumentImpl(const Request& request,
     // bodies. A policy update bumps the version and naturally invalidates.
     resp.not_modified = true;
     resp.wire_bytes = kRevalidationWireBytes;
-    ++stats_.not_modified;
+    not_modified_.fetch_add(1, std::memory_order_relaxed);
     return resp;
   }
   const Bytes& raw = *entry.container_bytes;
@@ -32,7 +34,7 @@ Result<Response> DspServer::OpenDocumentImpl(const Request& request,
 }
 
 Result<Response> DspServer::GetChunksImpl(const Request& request,
-                                          const Entry& entry) {
+                                          const Entry& entry) const {
   Response resp;
   for (const ChunkSpan& span : request.spans) {
     for (uint32_t i = 0; i < span.count; ++i) {
@@ -45,83 +47,108 @@ Result<Response> DspServer::GetChunksImpl(const Request& request,
       resp.chunks.push_back(std::move(chunk));
     }
   }
-  stats_.chunks_served += resp.chunks.size();
+  chunks_served_.fetch_add(resp.chunks.size(), std::memory_order_relaxed);
   return resp;
 }
 
 Result<Response> DspServer::Execute(Request request) {
-  ++stats_.requests;
+  requests_.fetch_add(1, std::memory_order_relaxed);
 
-  if (request.op == Op::kPublish) {
-    Entry entry;
-    entry.container_bytes =
-        std::make_unique<Bytes>(std::move(request.container));
-    CSXA_ASSIGN_OR_RETURN(entry.container, crypto::SecureContainer::Parse(
-                                               *entry.container_bytes));
-    entry.sealed_rules = std::move(request.sealed_rules);
-    // Monotone even across republish and remove-then-republish: a new
-    // container under a previously seen id must exceed every version ever
-    // served for it, or version-keyed caches would serve the old header
-    // and rules as not-modified against the new chunks.
-    uint64_t floor = 0;
-    auto existing = docs_.find(request.doc_id);
-    if (existing != docs_.end()) {
-      floor = existing->second.rules_version;
-    } else if (auto retired = retired_versions_.find(request.doc_id);
-               retired != retired_versions_.end()) {
-      floor = retired->second;
-    }
-    entry.rules_version = floor + 1;
-    Response resp;
-    resp.rules_version = entry.rules_version;
-    docs_.insert_or_assign(request.doc_id, std::move(entry));
-    return resp;
-  }
+  Result<Response> result = [&]() -> Result<Response> {
+    switch (request.op) {
+      case Op::kPublish: {
+        Entry entry;
+        entry.container_bytes =
+            std::make_unique<Bytes>(std::move(request.container));
+        CSXA_ASSIGN_OR_RETURN(entry.container, crypto::SecureContainer::Parse(
+                                                   *entry.container_bytes));
+        entry.sealed_rules = std::move(request.sealed_rules);
+        std::unique_lock lock(mu_);
+        // Monotone even across republish and remove-then-republish: a new
+        // container under a previously seen id must exceed every version
+        // ever served for it, or version-keyed caches would serve the old
+        // header and rules as not-modified against the new chunks.
+        uint64_t floor = 0;
+        auto existing = docs_.find(request.doc_id);
+        if (existing != docs_.end()) {
+          floor = existing->second.rules_version;
+        } else if (auto retired = retired_versions_.find(request.doc_id);
+                   retired != retired_versions_.end()) {
+          floor = retired->second;
+        }
+        entry.rules_version = floor + 1;
+        Response resp;
+        resp.rules_version = entry.rules_version;
+        docs_.insert_or_assign(request.doc_id, std::move(entry));
+        return resp;
+      }
 
-  auto it = docs_.find(request.doc_id);
-  if (it == docs_.end()) {
-    return Status::NotFound("document " + request.doc_id);
-  }
-  Entry& entry = it->second;
+      case Op::kUpdateRules: {
+        std::unique_lock lock(mu_);
+        auto it = docs_.find(request.doc_id);
+        if (it == docs_.end()) {
+          return Status::NotFound("document " + request.doc_id);
+        }
+        it->second.sealed_rules = std::move(request.sealed_rules);
+        ++it->second.rules_version;
+        Response resp;
+        resp.rules_version = it->second.rules_version;
+        return resp;
+      }
 
-  Response resp;
-  switch (request.op) {
-    case Op::kOpenDocument: {
-      CSXA_ASSIGN_OR_RETURN(resp, OpenDocumentImpl(request, entry));
-      break;
+      case Op::kRemove: {
+        std::unique_lock lock(mu_);
+        auto it = docs_.find(request.doc_id);
+        if (it == docs_.end()) {
+          return Status::NotFound("document " + request.doc_id);
+        }
+        // Tombstone the version so a future republish of the id stays
+        // monotone for caches that still hold the deleted document.
+        retired_versions_[request.doc_id] = it->second.rules_version;
+        docs_.erase(it);
+        return Response{};
+      }
+
+      case Op::kOpenDocument:
+      case Op::kGetChunks:
+      case Op::kGetContainer: {
+        std::shared_lock lock(mu_);
+        auto it = docs_.find(request.doc_id);
+        if (it == docs_.end()) {
+          return Status::NotFound("document " + request.doc_id);
+        }
+        const Entry& entry = it->second;
+        switch (request.op) {
+          case Op::kOpenDocument:
+            return OpenDocumentImpl(request, entry);
+          case Op::kGetChunks:
+            return GetChunksImpl(request, entry);
+          default: {
+            Response resp;
+            resp.container = *entry.container_bytes;
+            resp.wire_bytes = resp.container.size();
+            return resp;
+          }
+        }
+      }
     }
-    case Op::kGetChunks: {
-      CSXA_ASSIGN_OR_RETURN(resp, GetChunksImpl(request, entry));
-      break;
-    }
-    case Op::kGetContainer: {
-      resp.container = *entry.container_bytes;
-      resp.wire_bytes = resp.container.size();
-      break;
-    }
-    case Op::kUpdateRules: {
-      entry.sealed_rules = std::move(request.sealed_rules);
-      ++entry.rules_version;
-      resp.rules_version = entry.rules_version;
-      break;
-    }
-    case Op::kRemove: {
-      // Tombstone the version so a future republish of the id stays
-      // monotone for caches that still hold the deleted document.
-      retired_versions_[request.doc_id] = entry.rules_version;
-      docs_.erase(it);
-      break;
-    }
-    case Op::kPublish:
-      break;  // handled above
+    return Status::InvalidArgument("unknown DSP op");
+  }();
+
+  if (result.ok()) {
+    bytes_served_.fetch_add(result.value().wire_bytes,
+                            std::memory_order_relaxed);
   }
-  stats_.bytes_served += resp.wire_bytes;
-  return resp;
+  return result;
 }
 
 ServiceStats DspServer::stats() const {
-  ServiceStats out = stats_;
-  out.documents = docs_.size();
+  ServiceStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.chunks_served = chunks_served_.load(std::memory_order_relaxed);
+  out.bytes_served = bytes_served_.load(std::memory_order_relaxed);
+  out.not_modified = not_modified_.load(std::memory_order_relaxed);
+  out.documents = size();
   return out;
 }
 

@@ -12,9 +12,19 @@
 /// with their authentication material through the dsp::Service protocol,
 /// which is what makes server-side skipping — and server-side scale-out —
 /// possible.
+///
+/// Threading: DspServer is safe for concurrent Execute() calls from any
+/// number of threads. Reads (kOpenDocument, kGetChunks, kGetContainer)
+/// share a reader lock; writes (kPublish, kUpdateRules, kRemove) take it
+/// exclusively, so a reader always observes a consistent
+/// (header, sealed rules, version) triple — never a torn pair from a
+/// half-applied update. Load counters are atomics so the read fast path
+/// never upgrades its lock.
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "common/bytes.h"
@@ -31,7 +41,10 @@ class DspServer : public Service {
   ServiceStats stats() const override;
 
   /// Number of stored documents.
-  size_t size() const { return docs_.size(); }
+  size_t size() const {
+    std::shared_lock lock(mu_);
+    return docs_.size();
+  }
 
  private:
   struct Entry {
@@ -41,14 +54,26 @@ class DspServer : public Service {
     uint64_t rules_version = 1;
   };
 
-  Result<Response> OpenDocumentImpl(const Request& request, const Entry& entry);
-  Result<Response> GetChunksImpl(const Request& request, const Entry& entry);
+  Result<Response> OpenDocumentImpl(const Request& request,
+                                    const Entry& entry) const;
+  Result<Response> GetChunksImpl(const Request& request,
+                                 const Entry& entry) const;
 
+  /// Guards docs_ and retired_versions_ (shared for reads, exclusive for
+  /// publish/update/remove). Entries are only ever mutated or destroyed
+  /// under the exclusive lock, so borrowing an Entry& under the shared
+  /// lock is safe for the duration of one Execute().
+  mutable std::shared_mutex mu_;
   std::map<std::string, Entry> docs_;
   // Last version of removed documents: republishing the same id must stay
   // version-monotone so caches never see a not-modified stale header.
   std::map<std::string, uint64_t> retired_versions_;
-  ServiceStats stats_;
+
+  // Load counters; relaxed order is fine, they are statistics.
+  mutable std::atomic<uint64_t> requests_{0};
+  mutable std::atomic<uint64_t> chunks_served_{0};
+  mutable std::atomic<uint64_t> bytes_served_{0};
+  mutable std::atomic<uint64_t> not_modified_{0};
 };
 
 }  // namespace csxa::dsp

@@ -4,13 +4,17 @@ namespace csxa::pki {
 
 Status KeyRegistry::Grant(const std::string& doc_id, const std::string& user,
                           const crypto::SymmetricKey& key) {
-  if (!HasUser(user)) return Status::NotFound("unknown user " + user);
+  std::lock_guard lock(mu_);
+  if (users_.count(user) == 0) {
+    return Status::NotFound("unknown user " + user);
+  }
   grants_[{doc_id, user}] = key;
   ++keys_distributed_;
   return Status::OK();
 }
 
 Status KeyRegistry::Revoke(const std::string& doc_id, const std::string& user) {
+  std::lock_guard lock(mu_);
   if (grants_.erase({doc_id, user}) == 0) {
     return Status::NotFound("no grant for " + user + " on " + doc_id);
   }
@@ -19,6 +23,7 @@ Status KeyRegistry::Revoke(const std::string& doc_id, const std::string& user) {
 
 Result<crypto::SymmetricKey> KeyRegistry::Fetch(const std::string& doc_id,
                                                 const std::string& user) const {
+  std::lock_guard lock(mu_);
   auto it = grants_.find({doc_id, user});
   if (it == grants_.end()) {
     return Status::NotFound("no grant for " + user + " on " + doc_id);
@@ -27,6 +32,7 @@ Result<crypto::SymmetricKey> KeyRegistry::Fetch(const std::string& doc_id,
 }
 
 size_t KeyRegistry::GrantCount(const std::string& doc_id) const {
+  std::lock_guard lock(mu_);
   size_t n = 0;
   for (const auto& [k, v] : grants_) {
     if (k.first == doc_id) ++n;

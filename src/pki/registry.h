@@ -10,8 +10,13 @@
 /// wrapped-key exchange: document owners deposit per-document secret keys
 /// for named grantees; a grantee's terminal fetches its grants and
 /// installs them in the card's secure storage.
+///
+/// Threading: safe for concurrent use — owners grant keys while terminal
+/// sessions fetch them (the multi-tenant serving path). All operations
+/// take one mutex; none are hot enough to need finer grain.
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -25,11 +30,18 @@ namespace csxa::pki {
 class KeyRegistry {
  public:
   /// Registers a community member. Idempotent.
-  void RegisterUser(const std::string& user) { users_.insert(user); }
+  void RegisterUser(const std::string& user) {
+    std::lock_guard lock(mu_);
+    users_.insert(user);
+  }
   /// True if `user` is registered.
-  bool HasUser(const std::string& user) const { return users_.count(user) > 0; }
+  bool HasUser(const std::string& user) const {
+    std::lock_guard lock(mu_);
+    return users_.count(user) > 0;
+  }
   /// All registered users.
   std::vector<std::string> Users() const {
+    std::lock_guard lock(mu_);
     return std::vector<std::string>(users_.begin(), users_.end());
   }
 
@@ -47,9 +59,13 @@ class KeyRegistry {
   /// Number of grants for a document.
   size_t GrantCount(const std::string& doc_id) const;
   /// Total keys ever distributed (for EXP-DYN accounting).
-  uint64_t keys_distributed() const { return keys_distributed_; }
+  uint64_t keys_distributed() const {
+    std::lock_guard lock(mu_);
+    return keys_distributed_;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::set<std::string> users_;
   std::map<std::pair<std::string, std::string>, crypto::SymmetricKey> grants_;
   uint64_t keys_distributed_ = 0;

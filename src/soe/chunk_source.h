@@ -44,6 +44,11 @@ struct ChunkData {
 /// live; implementations that serve from memory the terminal already holds
 /// (a received broadcast, a prefetch window) override round_trips()
 /// accordingly.
+///
+/// Reentrancy contract: one ChunkProvider instance serves one card
+/// session on one thread (its round-trip counter and any buffering are
+/// unsynchronized). Share the dsp::Service underneath across sessions,
+/// never the provider.
 class ChunkProvider {
  public:
   virtual ~ChunkProvider() = default;

@@ -23,6 +23,14 @@
 /// cross the APDU link, so card-side transfer and crypto costs are
 /// byte-identical with and without prefetching — only the round-trip count
 /// (and thus modeled latency) changes.
+///
+/// Reentrancy contract: a PrefetchingProvider (like every ChunkProvider)
+/// belongs to ONE card session on one thread — its window buffer and
+/// counters are unsynchronized by design. Concurrency lives below, in the
+/// shared dsp::Service the provider fetches from (DspServer,
+/// ShardedService, CachingClient and AsyncDispatcher are thread-safe);
+/// each concurrent session constructs its own provider over that shared
+/// backend.
 
 #include <vector>
 

@@ -1,0 +1,261 @@
+#include "workload/load.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "dsp/async.h"
+#include "dsp/caching.h"
+#include "dsp/sharded.h"
+#include "dsp/store.h"
+#include "pki/registry.h"
+#include "proxy/publisher.h"
+#include "proxy/terminal.h"
+#include "workload/scenarios.h"
+#include "xml/generator.h"
+
+namespace csxa::workload {
+
+namespace {
+
+// One shared document's replay material: which scenario it instantiates,
+// which subjects may open it, which queries make sense against it.
+struct DocInfo {
+  std::string doc_id;
+  size_t scenario = 0;
+  std::vector<std::string> subjects;
+};
+
+xml::DomDocument MakeDoc(const Scenario& scenario, size_t elements,
+                         uint64_t seed) {
+  xml::GeneratorParams gp;
+  gp.profile = scenario.profile;
+  gp.target_elements = elements;
+  gp.seed = seed;
+  gp.text_avg_len = 32;
+  return xml::GenerateDocument(gp);
+}
+
+double Quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+}  // namespace
+
+LoadReport RunLoad(const LoadOptions& options) {
+  LoadOptions opt = options;
+  if (opt.sessions == 0) opt.sessions = 1;
+  if (opt.shards == 0) opt.shards = 1;
+  if (opt.documents == 0) opt.documents = 1;
+
+  // --- The deployment under test -----------------------------------------
+  std::vector<std::unique_ptr<dsp::DspServer>> stores;
+  std::vector<dsp::Service*> shard_ptrs;
+  for (size_t i = 0; i < opt.shards; ++i) {
+    stores.push_back(std::make_unique<dsp::DspServer>());
+    shard_ptrs.push_back(stores.back().get());
+  }
+  dsp::ShardedService sharded(shard_ptrs);
+  dsp::AsyncDispatcher::Options dopt;
+  dopt.workers = opt.workers;
+  dsp::AsyncDispatcher dispatcher(&sharded, dopt);
+  // ONE cache shared by every session: its locks are part of what the
+  // harness stresses (and what cache hits make cheap).
+  dsp::CachingClient cached(&dispatcher);
+  pki::KeyRegistry registry;
+
+  const std::vector<Scenario> scenarios = AllScenarios();
+
+  // --- Setup: publish the shared pool + one owned doc per session --------
+  // Each session gets its own Publisher (publishers are single-threaded by
+  // contract); all of them push through the shared serving stack.
+  std::vector<std::unique_ptr<proxy::Publisher>> publishers;
+  for (size_t k = 0; k < opt.sessions; ++k) {
+    publishers.push_back(
+        std::make_unique<proxy::Publisher>(&cached, &registry, opt.seed + k));
+  }
+  proxy::Publisher setup_publisher(&cached, &registry, opt.seed + 7777);
+
+  std::vector<DocInfo> shared_docs;
+  for (size_t d = 0; d < opt.documents; ++d) {
+    DocInfo info;
+    info.scenario = d % scenarios.size();
+    const Scenario& scn = scenarios[info.scenario];
+    info.doc_id = "shared-" + std::to_string(d);
+    info.subjects = core::RuleSet::ParseText(scn.rules_text).value().Subjects();
+    auto receipt = setup_publisher.Publish(
+        info.doc_id, MakeDoc(scn, opt.elements_per_doc, opt.seed + 100 + d),
+        scn.rules_text, proxy::PublishOptions{.chunk_size = opt.chunk_size});
+    if (!receipt.ok()) continue;  // counted nowhere: setup must succeed
+    shared_docs.push_back(std::move(info));
+  }
+
+  struct OwnedDoc {
+    DocInfo info;
+    crypto::SymmetricKey key;
+  };
+  std::vector<OwnedDoc> owned(opt.sessions);
+  for (size_t k = 0; k < opt.sessions; ++k) {
+    OwnedDoc& own = owned[k];
+    own.info.scenario = k % scenarios.size();
+    const Scenario& scn = scenarios[own.info.scenario];
+    own.info.doc_id = "own-" + std::to_string(k);
+    own.info.subjects =
+        core::RuleSet::ParseText(scn.rules_text).value().Subjects();
+    auto receipt = publishers[k]->Publish(
+        own.info.doc_id, MakeDoc(scn, opt.elements_per_doc, opt.seed + 500 + k),
+        scn.rules_text, proxy::PublishOptions{.chunk_size = opt.chunk_size});
+    if (receipt.ok()) own.key = receipt.value().key;
+  }
+
+  // Measure the run, not the setup: snapshot every monotone counter.
+  const std::vector<double> lanes_before = dispatcher.lane_busy_seconds();
+  const std::vector<uint64_t> shards_before = sharded.shard_requests();
+
+  // --- The run: N concurrent terminal sessions ---------------------------
+  struct SessionOutcome {
+    uint64_t queries = 0, updates = 0, publishes = 0, failures = 0;
+    std::vector<double> latencies_sec;
+  };
+  std::vector<SessionOutcome> outcomes(opt.sessions);
+
+  auto session_body = [&](size_t k) {
+    SessionOutcome& out = outcomes[k];
+    Rng rng(opt.seed * 9176 + k);
+    OwnedDoc& own = owned[k];
+    const double write_latency = opt.card.round_trip_latency_sec;
+
+    auto run_query = [&](const DocInfo& doc) {
+      const Scenario& scn = scenarios[doc.scenario];
+      const std::string& subject =
+          doc.subjects[rng.Uniform(doc.subjects.size())];
+      const auto& q = scn.queries[rng.Uniform(scn.queries.size())];
+      proxy::Terminal terminal(subject, opt.card, &cached, &registry);
+      if (!terminal.Provision(doc.doc_id).ok()) {
+        ++out.failures;
+        return;
+      }
+      proxy::QueryOptions qopt;
+      qopt.query = q.second;
+      qopt.max_prefetch = opt.max_prefetch;
+      auto result = terminal.Query(doc.doc_id, qopt);
+      ++out.queries;
+      if (!result.ok()) {
+        ++out.failures;
+        return;
+      }
+      out.latencies_sec.push_back(result.value().card.total_seconds);
+    };
+
+    for (size_t i = 0; i < opt.ops_per_session; ++i) {
+      const double dice = rng.NextDouble();
+      if (dice < opt.publish_fraction) {
+        // Full republish of the session's own document: fresh key, fresh
+        // container, version bumped past every cached copy.
+        const Scenario& scn = scenarios[own.info.scenario];
+        auto receipt = publishers[k]->Publish(
+            own.info.doc_id,
+            MakeDoc(scn, opt.elements_per_doc, opt.seed + 900 + i * 31 + k),
+            scn.rules_text, proxy::PublishOptions{.chunk_size = opt.chunk_size});
+        ++out.publishes;
+        if (receipt.ok()) {
+          own.key = receipt.value().key;
+          out.latencies_sec.push_back(write_latency);
+        } else {
+          ++out.failures;
+        }
+      } else if (dice < opt.publish_fraction + opt.update_fraction) {
+        // The paper's cheap dynamic policy update: reseal rules, bump the
+        // version — every cache holding this doc revalidates.
+        const Scenario& scn = scenarios[own.info.scenario];
+        auto updated = publishers[k]->UpdateRules(own.info.doc_id, own.key,
+                                                  scn.rules_text);
+        ++out.updates;
+        if (updated.ok()) {
+          out.latencies_sec.push_back(write_latency);
+        } else {
+          ++out.failures;
+        }
+      } else if (!shared_docs.empty() && rng.NextDouble() < 0.8) {
+        run_query(shared_docs[rng.Uniform(shared_docs.size())]);
+      } else {
+        run_query(own.info);  // read-your-own-writes path
+      }
+    }
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(opt.sessions);
+  for (size_t k = 0; k < opt.sessions; ++k) {
+    threads.emplace_back(session_body, k);
+  }
+  for (std::thread& t : threads) t.join();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  // --- The report ---------------------------------------------------------
+  LoadReport report;
+  report.sessions = opt.sessions;
+  report.workers = dispatcher.worker_count();
+  report.shards = opt.shards;
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+
+  std::vector<double> latencies;
+  for (const SessionOutcome& out : outcomes) {
+    report.queries += out.queries;
+    report.updates += out.updates;
+    report.publishes += out.publishes;
+    report.failures += out.failures;
+    latencies.insert(latencies.end(), out.latencies_sec.begin(),
+                     out.latencies_sec.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_latency_ms = Quantile(latencies, 0.50) * 1e3;
+  report.p99_latency_ms = Quantile(latencies, 0.99) * 1e3;
+
+  const std::vector<double> lanes_after = dispatcher.lane_busy_seconds();
+  for (size_t i = 0; i < lanes_after.size(); ++i) {
+    const double busy = lanes_after[i] - lanes_before[i];
+    report.lane_busy_seconds.push_back(busy);
+    report.modeled_busy_seconds += busy;
+    report.modeled_makespan_seconds =
+        std::max(report.modeled_makespan_seconds, busy);
+  }
+  const uint64_t total_ops =
+      report.queries + report.updates + report.publishes;
+  if (report.modeled_makespan_seconds > 0) {
+    report.throughput_ops_per_sec =
+        static_cast<double>(total_ops) / report.modeled_makespan_seconds;
+  }
+
+  const std::vector<uint64_t> shards_after = sharded.shard_requests();
+  uint64_t shard_total = 0, shard_max = 0;
+  for (size_t i = 0; i < shards_after.size(); ++i) {
+    const uint64_t n = shards_after[i] - shards_before[i];
+    report.shard_requests.push_back(n);
+    shard_total += n;
+    shard_max = std::max(shard_max, n);
+  }
+  if (shard_total > 0) {
+    report.shard_imbalance =
+        static_cast<double>(shard_max) * static_cast<double>(opt.shards) /
+        static_cast<double>(shard_total);
+  }
+  report.failovers = sharded.failovers();
+  report.cache_hits = cached.hits();
+  report.cache_misses = cached.misses();
+  report.cache_invalidations = cached.invalidations();
+  report.backend = sharded.stats();
+  return report;
+}
+
+}  // namespace csxa::workload

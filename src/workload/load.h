@@ -1,0 +1,97 @@
+#ifndef CSXA_WORKLOAD_LOAD_H_
+#define CSXA_WORKLOAD_LOAD_H_
+
+/// \file load.h
+/// \brief Multi-tenant load harness: N concurrent terminal sessions
+/// against a sharded, cached, asynchronously-dispatched DSP deployment.
+///
+/// This is ROADMAP item 1 made measurable. The harness assembles the full
+/// serving stack — CachingClient over AsyncDispatcher over ShardedService
+/// over N DspServers, one shared pki::KeyRegistry — publishes a pool of
+/// scenario documents, then lets `sessions` OS threads replay mixed
+/// traffic (authorized queries over the scenario rule sets, cheap policy
+/// updates, full republishes) concurrently. Every layer below the
+/// terminals is shared mutable state; the harness is both the throughput
+/// experiment and, under ThreadSanitizer, the race detector for it.
+///
+/// Reported throughput divides completed operations by the *modeled*
+/// server makespan (the busiest dispatcher lane's accumulated modeled
+/// service time) — the same modeled-clock methodology as the card cost
+/// model, so the numbers scale with worker count rather than with the CI
+/// machine's core count. Per-operation modeled latency (p50/p99) comes
+/// from the card session cost model for queries and the round-trip model
+/// for writes; per-shard load imbalance comes from the router's request
+/// counters.
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/service.h"
+#include "soe/card_profile.h"
+
+namespace csxa::workload {
+
+/// Knobs of one load run.
+struct LoadOptions {
+  /// Concurrent terminal sessions (client threads).
+  size_t sessions = 16;
+  /// Operations each session replays.
+  size_t ops_per_session = 6;
+  /// DspServer shards behind the router.
+  size_t shards = 4;
+  /// AsyncDispatcher worker lanes; 1 is the single-threaded baseline.
+  size_t workers = 4;
+  /// Shared scenario documents published at setup (round-robin over the
+  /// agenda / hospital / news-feed scenarios).
+  size_t documents = 6;
+  /// Approximate element count of each generated document.
+  size_t elements_per_doc = 200;
+  /// Fraction of ops that are cheap policy updates (kUpdateRules).
+  double update_fraction = 0.15;
+  /// Fraction of ops that republish the session's own document.
+  double publish_fraction = 0.10;
+  uint64_t seed = 1;
+  uint32_t max_prefetch = 8;
+  size_t chunk_size = 256;
+  /// Card hardware model used by every terminal.
+  soe::CardProfile card = soe::CardProfile::EGate();
+};
+
+/// What one load run measured.
+struct LoadReport {
+  size_t sessions = 0;
+  size_t workers = 0;
+  size_t shards = 0;
+  uint64_t queries = 0;
+  uint64_t updates = 0;
+  uint64_t publishes = 0;
+  uint64_t failures = 0;  ///< non-OK operations (0 on a correct stack)
+
+  double wall_seconds = 0;  ///< host time (informational; core-count bound)
+  /// Modeled server work: sum / busiest-lane of dispatcher lane clocks,
+  /// measured over the run (setup excluded).
+  double modeled_busy_seconds = 0;
+  double modeled_makespan_seconds = 0;
+  /// ops / modeled_makespan_seconds — the headline number.
+  double throughput_ops_per_sec = 0;
+  /// Modeled per-operation latency quantiles, milliseconds.
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+
+  std::vector<uint64_t> shard_requests;  ///< per shard, this run
+  double shard_imbalance = 0;            ///< max/mean of shard_requests
+  std::vector<double> lane_busy_seconds; ///< per dispatcher lane, this run
+  uint64_t failovers = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
+  dsp::ServiceStats backend;  ///< aggregate fleet stats, end of run
+};
+
+/// Runs one load experiment; deterministic given options.seed except for
+/// wall_seconds and thread interleaving (which the modeled clocks hide).
+LoadReport RunLoad(const LoadOptions& options);
+
+}  // namespace csxa::workload
+
+#endif  // CSXA_WORKLOAD_LOAD_H_

@@ -1,0 +1,324 @@
+// Concurrency suite for the multi-tenant serving stack (`ctest -L
+// concurrency`; scripts/ci.sh also runs it under ThreadSanitizer).
+//
+// What is pinned here:
+//  - racing publish / policy-update / open traffic through a CachingClient
+//    over a ShardedService never serves a torn {sealed_rules,
+//    rules_version} pair, and every reader observes monotonically
+//    non-decreasing rules versions;
+//  - AsyncDispatcher executes one document's requests in submission order
+//    (per-document FIFO) and drains every queued request on destruction;
+//  - the full load harness (terminals, publishers, cache, dispatcher,
+//    shards) completes a mixed workload with zero failed operations.
+//
+// Workload sizes are deliberately small: the suite must stay fast on a
+// single-core CI machine and under TSan's ~10x slowdown.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "crypto/container.h"
+#include "dsp/async.h"
+#include "dsp/caching.h"
+#include "dsp/service.h"
+#include "dsp/sharded.h"
+#include "dsp/store.h"
+#include "workload/load.h"
+
+namespace csxa {
+namespace {
+
+// A version-keyed sealed-rules blob: any response whose sealed_rules does
+// not equal RulesBlobFor(its rules_version) is a torn pair.
+Bytes RulesBlobFor(uint64_t version) {
+  return Bytes(16, static_cast<uint8_t>(version & 0xFF));
+}
+
+Bytes MakeContainer(uint64_t seed, size_t payload_bytes = 600) {
+  Rng rng(seed);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  return crypto::SecureContainer::Seal(
+      key, Bytes(payload_bytes, static_cast<uint8_t>(seed)), 256, &rng);
+}
+
+// --- Readers vs. policy updates --------------------------------------------
+
+TEST(ConcurrencyTest, ReadersSeeMonotoneUntornVersionsUnderUpdates) {
+  dsp::DspServer s0, s1;
+  dsp::ShardedService sharded({&s0, &s1});
+  dsp::CachingClient cached(&sharded);
+
+  const std::string doc_id = "hot";
+  ASSERT_TRUE(sharded.Publish(doc_id, MakeContainer(1), RulesBlobFor(1)).ok());
+  Bytes expected_header = sharded.OpenDocument(doc_id).value().header;
+  ASSERT_FALSE(expected_header.empty());
+
+  constexpr uint64_t kUpdates = 40;
+  constexpr size_t kReaders = 4;
+  std::atomic<bool> writer_done{false};
+
+  std::thread writer([&] {
+    for (uint64_t v = 2; v <= kUpdates; ++v) {
+      dsp::Request req;
+      req.op = dsp::Op::kUpdateRules;
+      req.doc_id = doc_id;
+      req.sealed_rules = RulesBlobFor(v);
+      auto resp = cached.Execute(std::move(req));
+      ASSERT_TRUE(resp.ok());
+      // Single writer: the server's version counter advances by exactly 1.
+      ASSERT_EQ(resp.value().rules_version, v);
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  std::vector<uint64_t> final_versions(kReaders, 0);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last = 0;
+      do {
+        auto open = cached.OpenDocument(doc_id);
+        ASSERT_TRUE(open.ok()) << open.status().ToString();
+        const dsp::Response& resp = open.value();
+        // Monotone: the stack never serves a version older than one this
+        // reader already saw (cache fills are version-guarded).
+        ASSERT_GE(resp.rules_version, last);
+        last = resp.rules_version;
+        // Untorn: sealed rules always belong to the reported version, and
+        // the header never changes under pure policy updates.
+        ASSERT_EQ(resp.sealed_rules, RulesBlobFor(resp.rules_version));
+        ASSERT_EQ(resp.header, expected_header);
+      } while (!writer_done.load(std::memory_order_acquire));
+      final_versions[r] = last;
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  // Everyone converges on the final version once the writer stops.
+  auto final_open = cached.OpenDocument(doc_id);
+  ASSERT_TRUE(final_open.ok());
+  EXPECT_EQ(final_open.value().rules_version, kUpdates);
+}
+
+// --- Racing publish / update / open (mixed writers) ------------------------
+
+TEST(ConcurrencyTest, MixedPublishUpdateOpenTrafficStaysConsistent) {
+  dsp::DspServer s0, s1;
+  dsp::ShardedService sharded({&s0, &s1});
+  dsp::CachingClient cached(&sharded);
+
+  const std::string doc_id = "contested";
+  ASSERT_TRUE(cached.Publish(doc_id, MakeContainer(2), RulesBlobFor(1)).ok());
+
+  // Two writers race: a republisher (new container + rules each time) and
+  // a policy updater. Server-side versions are strictly monotone and each
+  // write carries a distinct blob, so each version maps to exactly one
+  // blob — any disagreement between observations is a torn read.
+  constexpr int kWrites = 15;
+  std::atomic<bool> done{false};
+
+  std::thread republisher([&] {
+    for (int k = 0; k < kWrites; ++k) {
+      dsp::Request req;
+      req.op = dsp::Op::kPublish;
+      req.doc_id = doc_id;
+      req.container = MakeContainer(10 + k);
+      req.sealed_rules = Bytes(16, static_cast<uint8_t>(200 + k));
+      auto resp = cached.Execute(std::move(req));
+      ASSERT_TRUE(resp.ok());
+    }
+  });
+  std::thread updater([&] {
+    for (int k = 0; k < kWrites; ++k) {
+      dsp::Request req;
+      req.op = dsp::Op::kUpdateRules;
+      req.doc_id = doc_id;
+      req.sealed_rules = Bytes(16, static_cast<uint8_t>(100 + k));
+      auto resp = cached.Execute(std::move(req));
+      ASSERT_TRUE(resp.ok());
+    }
+  });
+
+  constexpr size_t kReaders = 3;
+  std::vector<std::map<uint64_t, Bytes>> observed(kReaders);
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last = 0;
+      do {
+        auto open = cached.OpenDocument(doc_id);
+        ASSERT_TRUE(open.ok()) << open.status().ToString();
+        const dsp::Response& resp = open.value();
+        ASSERT_GE(resp.rules_version, last);
+        last = resp.rules_version;
+        ASSERT_EQ(resp.header.size(), crypto::ContainerHeader::kWireSize);
+        auto [it, inserted] =
+            observed[r].emplace(resp.rules_version, resp.sealed_rules);
+        if (!inserted) {
+          // Re-observing a version must reproduce the identical blob.
+          ASSERT_EQ(it->second, resp.sealed_rules) << "torn pair at version "
+                                                   << resp.rules_version;
+        }
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+
+  republisher.join();
+  updater.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  // Cross-reader agreement: a version observed by two readers carries the
+  // same blob in both.
+  std::map<uint64_t, Bytes> merged;
+  for (const auto& m : observed) {
+    for (const auto& [version, blob] : m) {
+      auto [it, inserted] = merged.emplace(version, blob);
+      if (!inserted) {
+        EXPECT_EQ(it->second, blob) << "version " << version;
+      }
+    }
+  }
+  EXPECT_FALSE(merged.empty());
+}
+
+// --- AsyncDispatcher ordering and drain ------------------------------------
+
+// Records the order requests reach the backend, per document.
+class RecordingService : public dsp::Service {
+ public:
+  Result<dsp::Response> Execute(dsp::Request request) override {
+    {
+      std::lock_guard lock(mu_);
+      order_[request.doc_id].push_back(request.known_rules_version);
+    }
+    dsp::Response resp;
+    resp.rules_version = request.known_rules_version;
+    return resp;
+  }
+  dsp::ServiceStats stats() const override { return {}; }
+
+  std::map<std::string, std::vector<uint64_t>> TakeOrder() {
+    std::lock_guard lock(mu_);
+    return order_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::vector<uint64_t>> order_;
+};
+
+TEST(ConcurrencyTest, AsyncDispatcherKeepsPerDocumentFifoAndDrainsOnExit) {
+  RecordingService backend;
+  const std::vector<std::string> docs = {"alpha", "bravo", "charlie", "delta"};
+  constexpr uint64_t kPerDoc = 25;
+
+  std::vector<std::future<Result<dsp::Response>>> futures;
+  {
+    dsp::AsyncDispatcher::Options opt;
+    opt.workers = 3;
+    dsp::AsyncDispatcher dispatcher(&backend, opt);
+    // Interleave submissions across documents without ever waiting: the
+    // dispatcher's destructor must drain all of them.
+    for (uint64_t seq = 1; seq <= kPerDoc; ++seq) {
+      for (const std::string& doc : docs) {
+        dsp::Request req;
+        req.doc_id = doc;
+        req.known_rules_version = seq;  // per-doc sequence number
+        futures.push_back(dispatcher.Submit(std::move(req)));
+      }
+    }
+    EXPECT_EQ(dispatcher.worker_count(), 3u);
+  }  // destruction == drain barrier
+
+  // Every future was fulfilled (none abandoned), with its own sequence.
+  ASSERT_EQ(futures.size(), docs.size() * kPerDoc);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "future " << i << " abandoned";
+    auto result = futures[i].get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().rules_version, i / docs.size() + 1);
+  }
+
+  // Per-document FIFO: each document's requests reached the backend in
+  // submission order, whatever the worker interleaving was.
+  auto order = backend.TakeOrder();
+  ASSERT_EQ(order.size(), docs.size());
+  for (const std::string& doc : docs) {
+    const std::vector<uint64_t>& seq = order[doc];
+    ASSERT_EQ(seq.size(), kPerDoc) << doc;
+    for (uint64_t i = 0; i < kPerDoc; ++i) {
+      EXPECT_EQ(seq[i], i + 1) << doc << " position " << i;
+    }
+  }
+}
+
+TEST(ConcurrencyTest, AsyncDispatcherConcurrentSubmittersAllComplete) {
+  dsp::DspServer store;
+  ASSERT_TRUE(store.Publish("doc", MakeContainer(3), RulesBlobFor(1)).ok());
+
+  dsp::AsyncDispatcher::Options opt;
+  opt.workers = 4;
+  dsp::AsyncDispatcher dispatcher(&store, opt);
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kOpsEach = 20;
+  std::vector<std::thread> submitters;
+  std::atomic<uint64_t> ok_count{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (size_t i = 0; i < kOpsEach; ++i) {
+        auto open = dispatcher.OpenDocument("doc");
+        if (open.ok() && open.value().rules_version >= 1) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(ok_count.load(), kThreads * kOpsEach);
+  EXPECT_EQ(dispatcher.executed(), kThreads * kOpsEach);
+  EXPECT_GT(dispatcher.modeled_busy_seconds(), 0.0);
+  EXPECT_LE(dispatcher.modeled_makespan_seconds(),
+            dispatcher.modeled_busy_seconds());
+}
+
+// --- Full stack under load ---------------------------------------------------
+
+TEST(ConcurrencyTest, FullStackLoadHarnessCompletesWithZeroFailures) {
+  workload::LoadOptions opt;
+  opt.sessions = 6;
+  opt.ops_per_session = 3;
+  opt.shards = 2;
+  opt.workers = 2;
+  opt.documents = 3;
+  opt.elements_per_doc = 60;
+  opt.seed = 42;
+
+  workload::LoadReport report = workload::RunLoad(opt);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_GT(report.queries, 0u);
+  EXPECT_GT(report.backend.requests, 0u);
+  EXPECT_GT(report.throughput_ops_per_sec, 0.0);
+  EXPECT_GT(report.modeled_makespan_seconds, 0.0);
+  EXPECT_GE(report.modeled_busy_seconds, report.modeled_makespan_seconds);
+  EXPECT_EQ(report.shard_requests.size(), 2u);
+  EXPECT_EQ(report.lane_busy_seconds.size(), 2u);
+  EXPECT_GT(report.p99_latency_ms, 0.0);
+  EXPECT_GE(report.p99_latency_ms, report.p50_latency_ms);
+}
+
+}  // namespace
+}  // namespace csxa

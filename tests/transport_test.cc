@@ -239,16 +239,102 @@ TEST(TransportTest, ShardedPublishAndRemoveClearStaleCopies) {
   Bytes fresh = crypto::SecureContainer::Seal(key, Bytes(900, 0x22), 256, &rng);
   ASSERT_TRUE(sharded.Publish(doc_id, fresh, Bytes{2}).ok());
   EXPECT_EQ(wrong->size(), 0u);
+  // The publish cleared a live copy off a non-home shard while the home
+  // shard had never seen the id: that is old-layout residency, and it is
+  // counted as exactly one failover for the whole operation.
+  EXPECT_EQ(sharded.failovers(), 1u);
   auto open = sharded.OpenDocument(doc_id);
   ASSERT_TRUE(open.ok());
   EXPECT_EQ(open.value().sealed_rules, (Bytes{2}));
-  EXPECT_EQ(sharded.failovers(), 0u);
+  EXPECT_EQ(sharded.failovers(), 1u);  // the read was served by home
 
-  // Removal leaves no copy behind on any shard.
+  // Removal leaves no copy behind on any shard; home held the document,
+  // so removing it is not failover evidence.
   ASSERT_TRUE(sharded.Remove(doc_id).ok());
   EXPECT_EQ(sharded.OpenDocument(doc_id).status().code(),
             StatusCode::kNotFound);
   EXPECT_EQ(s0.size() + s1.size(), 0u);
+  EXPECT_EQ(sharded.failovers(), 1u);
+}
+
+TEST(TransportTest, ShardedPublishOverHomeCopyCountsNoFailover) {
+  // When the home shard already holds the document, sweeping stale copies
+  // off other shards (there are none) must not count failovers: the
+  // document was right where the current layout expects it.
+  dsp::DspServer s0, s1;
+  dsp::ShardedService sharded({&s0, &s1});
+  const std::string doc_id = "settled";
+
+  Rng rng(4);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  Bytes c1 = crypto::SecureContainer::Seal(key, Bytes(500, 0x01), 256, &rng);
+  ASSERT_TRUE(sharded.Publish(doc_id, c1, Bytes{1}).ok());
+  Bytes c2 = crypto::SecureContainer::Seal(key, Bytes(500, 0x02), 256, &rng);
+  ASSERT_TRUE(sharded.Publish(doc_id, c2, Bytes{2}).ok());
+  EXPECT_EQ(sharded.failovers(), 0u);
+}
+
+TEST(TransportTest, ShardedRemoveCountsFailoverOnlyWhenHomeMisses) {
+  dsp::DspServer s0, s1;
+  dsp::ShardedService sharded({&s0, &s1});
+  const std::string doc_id = "mover";
+  size_t home = sharded.ShardFor(doc_id);
+  dsp::DspServer* home_shard = (home == 0) ? &s0 : &s1;
+  dsp::DspServer* wrong = (home == 0) ? &s1 : &s0;
+
+  Rng rng(5);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  Bytes container =
+      crypto::SecureContainer::Seal(key, Bytes(500, 0x07), 256, &rng);
+
+  // Copies on both home and a non-home shard: home satisfied the lookup,
+  // the sweep merely cleaned up — no failover.
+  ASSERT_TRUE(home_shard->Publish(doc_id, container, Bytes{1}).ok());
+  ASSERT_TRUE(wrong->Publish(doc_id, container, Bytes{1}).ok());
+  ASSERT_TRUE(sharded.Remove(doc_id).ok());
+  EXPECT_EQ(s0.size() + s1.size(), 0u);
+  EXPECT_EQ(sharded.failovers(), 0u);
+
+  // Only a non-home copy (old layout): removing it required failing over,
+  // counted once for the operation.
+  ASSERT_TRUE(wrong->Publish(doc_id, container, Bytes{1}).ok());
+  ASSERT_TRUE(sharded.Remove(doc_id).ok());
+  EXPECT_EQ(s0.size() + s1.size(), 0u);
+  EXPECT_EQ(sharded.failovers(), 1u);
+
+  // No copy anywhere: NotFound, and still no extra failover evidence.
+  EXPECT_EQ(sharded.Remove(doc_id).code(), StatusCode::kNotFound);
+  EXPECT_EQ(sharded.failovers(), 1u);
+}
+
+TEST(TransportTest, CachingClientDropsStaleEntryWhenDocumentVanishes) {
+  // Regression: a cached document removed behind the cache's back used to
+  // leave its entry in the map forever — the NotFound early-return skipped
+  // the erase. The stale entry must be dropped on the failed open.
+  dsp::DspServer dsp;
+  dsp::CachingClient cached(&dsp);
+  pki::KeyRegistry registry;
+  Publisher publisher(&dsp, &registry, 16);  // talks straight to the backend
+  ASSERT_TRUE(publisher.Publish("ghost", MakeDoc(80, 11), "+ u /hospital\n").ok());
+
+  ASSERT_TRUE(cached.OpenDocument("ghost").ok());  // fill
+  ASSERT_TRUE(cached.OpenDocument("ghost").ok());  // hit
+  EXPECT_EQ(cached.hits(), 1u);
+  EXPECT_EQ(cached.cache_size(), 1u);
+
+  // Removed directly on the backend: the cache cannot have seen it.
+  ASSERT_TRUE(dsp.Remove("ghost").ok());
+  auto open = cached.OpenDocument("ghost");
+  EXPECT_EQ(open.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cached.cache_size(), 0u);  // the stale entry is gone
+
+  // A republished incarnation is served fresh, not from the dead entry.
+  ASSERT_TRUE(publisher.Publish("ghost", MakeDoc(90, 12), "+ u /hospital\n").ok());
+  auto fresh = cached.OpenDocument("ghost");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh.value().rules_version, 1u);  // tombstone kept it monotone
+  EXPECT_EQ(cached.misses(), 2u);
+  EXPECT_EQ(cached.cache_size(), 1u);
 }
 
 TEST(TransportTest, ShardedFailedPublishKeepsExistingCopies) {
@@ -278,10 +364,12 @@ class CountingProvider : public soe::ChunkProvider {
  public:
   explicit CountingProvider(uint32_t chunk_count) : chunk_count_(chunk_count) {}
   size_t batches = 0;
+  uint32_t max_end_requested = 0;  // one-past-the-last chunk index asked for
 
  protected:
   Result<std::vector<soe::ChunkData>> FetchChunks(uint32_t first,
                                                   uint32_t count) override {
+    if (first + count > max_end_requested) max_end_requested = first + count;
     if (first + count > chunk_count_) {
       return Status::NotFound("chunk out of range");
     }
@@ -325,6 +413,54 @@ TEST(TransportTest, PrefetchWindowGrowsSequentiallyAndCollapsesOnJumps) {
 
   // Out-of-range propagates the backend error.
   EXPECT_FALSE(prefetch.GetChunk(99).ok());
+}
+
+TEST(TransportTest, PrefetchWindowClampsAtContainerEnd) {
+  // 5 chunks with an 8-chunk window ceiling: the grown window straddles
+  // the container end at chunk 2 (unclamped it would ask for [2, 6)) and
+  // must be clamped to the real tail — the backend errors past the end.
+  CountingProvider backend(5);
+  soe::PrefetchOptions opt;
+  opt.max_window = 8;
+  soe::PrefetchingProvider prefetch(&backend, /*chunk_count=*/5, opt);
+
+  for (uint32_t i = 0; i < 5; ++i) {
+    auto chunk = prefetch.GetChunk(i);
+    ASSERT_TRUE(chunk.ok()) << i;
+    EXPECT_EQ(chunk.value().ciphertext[0], static_cast<uint8_t>(i));
+  }
+  EXPECT_EQ(backend.max_end_requested, 5u);  // never past the end
+  EXPECT_EQ(backend.batches, 2u);            // [0,2) then [2,5) clamped
+
+  // An explicit out-of-range request still passes through (the backend's
+  // error is the contract), rather than being clamped into a wrong answer.
+  EXPECT_FALSE(prefetch.GetChunk(7).ok());
+}
+
+TEST(TransportTest, PrefetchBackwardJumpKeepsBufferConsistent) {
+  // After a backward skip jump the window buffer is rebased; every chunk
+  // served afterwards must still carry its own payload (buf_first_
+  // bookkeeping), including window hits against the rebased buffer.
+  CountingProvider backend(12);
+  soe::PrefetchOptions opt;
+  opt.max_window = 4;
+  soe::PrefetchingProvider prefetch(&backend, 12, opt);
+
+  for (uint32_t i = 0; i < 8; ++i) ASSERT_TRUE(prefetch.GetChunk(i).ok());
+
+  // Jump back: collapses the window to one chunk, rebasing the buffer.
+  auto back = prefetch.GetChunk(2);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().ciphertext[0], 2u);
+
+  // Resume after the jump target: sequential growth again, and each chunk
+  // (fetched or window-hit) matches its index.
+  for (uint32_t i = 3; i < 12; ++i) {
+    auto chunk = prefetch.GetChunk(i);
+    ASSERT_TRUE(chunk.ok()) << i;
+    EXPECT_EQ(chunk.value().ciphertext[0], static_cast<uint8_t>(i)) << i;
+  }
+  EXPECT_EQ(backend.max_end_requested, 12u);
 }
 
 TEST(TransportTest, PrefetchWindowOneIsPerChunk) {
