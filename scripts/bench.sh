@@ -8,9 +8,12 @@
 # Google Benchmark binaries (bench_automaton, bench_crypto,
 # bench_pipeline) emit JSON via --benchmark_out, converted here; the plain
 # table benches — including bench_transport (BENCH_transport.json, the
-# tracked round-trip series), bench_dissemination and bench_skip_index —
-# write their own report when CSXA_BENCH_JSON is set (bench/bench_util.h
-# JsonReport).
+# tracked round-trip series), bench_fault (BENCH_fault.json, the tracked
+# healthy-vs-degraded replicated-fabric series), bench_ablation and
+# bench_baselines (both tracked at the repo root too), bench_dissemination
+# and bench_skip_index — write their own report when CSXA_BENCH_JSON is
+# set (bench/bench_util.h JsonReport). Any new bench_* binary is picked up
+# automatically by the `*` case below.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

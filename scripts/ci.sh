@@ -21,12 +21,13 @@ ctest --output-on-failure -j "$(nproc)"
 ctest --output-on-failure -L transport
 cd ..
 
-# ThreadSanitizer pass over the serving-stack suites: the transport and
-# concurrency labels exercise the shared caches, sharded stores and the
-# async dispatcher from many threads — TSan turns latent races into
+# ThreadSanitizer pass over the serving-stack suites: the transport,
+# concurrency and fault labels exercise the shared caches, sharded stores,
+# the async dispatcher and the replicated fabric (failover, catch-up,
+# retry storms) from many threads — TSan turns latent races into
 # failures. Separate build dir (instrumentation is ABI-incompatible);
 # benches and examples are skipped to keep the instrumented build small.
 cmake -B build-tsan -S . -DCSXA_SANITIZE=thread \
   -DCSXA_BUILD_BENCH=OFF -DCSXA_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j
-(cd build-tsan && ctest --output-on-failure -L "transport|concurrency")
+(cd build-tsan && ctest --output-on-failure -L "transport|concurrency|fault")

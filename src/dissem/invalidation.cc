@@ -1,0 +1,67 @@
+#include "dissem/invalidation.h"
+
+namespace csxa::dissem {
+
+InvalidationFanout::InvalidationFanout(FanoutOptions options)
+    : options_(options), rng_(options_.seed) {}
+
+size_t InvalidationFanout::Subscribe(InvalidationHandler handler) {
+  std::lock_guard lock(mu_);
+  subs_.push_back(Sub{std::move(handler), false});
+  return subs_.size() - 1;
+}
+
+void InvalidationFanout::set_partitioned(size_t subscriber, bool partitioned) {
+  std::lock_guard lock(mu_);
+  if (subscriber < subs_.size()) subs_[subscriber].partitioned = partitioned;
+}
+
+void InvalidationFanout::Publish(const std::string& doc_id,
+                                 uint64_t rules_version) {
+  // Decide every subscriber's fate under the lock (the RNG and counters
+  // live there), then invoke handlers outside it: handlers take their own
+  // locks (the cache's) and must not nest under ours.
+  std::vector<InvalidationHandler> reached;
+  {
+    std::lock_guard lock(mu_);
+    ++published_;
+    for (const Sub& sub : subs_) {
+      if (sub.partitioned) {
+        ++partitioned_;
+        continue;
+      }
+      if (options_.drop_probability > 0 &&
+          rng_.Chance(options_.drop_probability)) {
+        ++dropped_;
+        continue;
+      }
+      ++delivered_;
+      reached.push_back(sub.handler);
+    }
+  }
+  for (const InvalidationHandler& handler : reached) {
+    handler(doc_id, rules_version);
+  }
+}
+
+uint64_t InvalidationFanout::published() const {
+  std::lock_guard lock(mu_);
+  return published_;
+}
+
+uint64_t InvalidationFanout::delivered() const {
+  std::lock_guard lock(mu_);
+  return delivered_;
+}
+
+uint64_t InvalidationFanout::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+uint64_t InvalidationFanout::partitioned() const {
+  std::lock_guard lock(mu_);
+  return partitioned_;
+}
+
+}  // namespace csxa::dissem

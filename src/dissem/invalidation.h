@@ -1,0 +1,96 @@
+#ifndef CSXA_DISSEM_INVALIDATION_H_
+#define CSXA_DISSEM_INVALIDATION_H_
+
+/// \file invalidation.h
+/// \brief Policy-update invalidation fan-out to subscribed terminals.
+///
+/// The paper's cheap dynamic policy update (a rules-version bump) gets its
+/// push half here: when the replicated DSP fabric commits a write, the
+/// fan-out notifies every subscribed terminal so version-keyed caches drop
+/// the affected document *now* instead of on the next revalidation.
+///
+/// The channel is best-effort on purpose — exactly like the broadcast
+/// dissemination channel (channel.h), delivery can be lost (scripted drop
+/// probability) or a subscriber can be partitioned away. That is safe by
+/// construction: the pull path still revalidates every open against the
+/// authoritative version (caching.h), so a missed notification costs one
+/// round trip of freshness, never correctness. Tests inject drops and
+/// partitions and assert exactly that self-healing.
+///
+/// Subscribers register plain std::function handlers, so this layer knows
+/// nothing about dsp:: types; the load harness wires the handlers to
+/// CachingClient::Invalidate and ReplicatedService::set_on_write_committed
+/// wires commits to Publish().
+///
+/// Threading: Publish()/Subscribe()/set_partitioned() are safe from any
+/// number of threads. Handlers run outside the fan-out's lock (they may
+/// take their own, e.g. the cache's), in subscriber order, on the
+/// publishing thread — a modeled multicast, not a queue.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace csxa::dissem {
+
+/// \brief Terminal-side callback: a policy update for `doc_id` reached
+/// this subscriber (version is the committed rules version).
+using InvalidationHandler =
+    std::function<void(const std::string& doc_id, uint64_t rules_version)>;
+
+/// \brief Fan-out channel knobs.
+struct FanoutOptions {
+  /// Per-delivery probability of losing the notification; 0 disables.
+  double drop_probability = 0;
+  /// Seed of the drop RNG (the usual deterministic Rng).
+  uint64_t seed = 1;
+};
+
+/// \brief Best-effort notification fan-out: one publisher, N terminals.
+class InvalidationFanout {
+ public:
+  explicit InvalidationFanout(FanoutOptions options = FanoutOptions{});
+
+  /// Registers a terminal; returns its subscriber index (the handle for
+  /// set_partitioned). Handlers must be thread-safe and must outlive the
+  /// fan-out.
+  size_t Subscribe(InvalidationHandler handler);
+
+  /// Cuts (true) or heals (false) the channel to one subscriber.
+  void set_partitioned(size_t subscriber, bool partitioned);
+
+  /// Publishes one notification to every subscriber (minus partitions
+  /// and random drops).
+  void Publish(const std::string& doc_id, uint64_t rules_version);
+
+  /// \name Fan-out statistics
+  /// @{
+  uint64_t published() const;    ///< Publish() calls
+  uint64_t delivered() const;    ///< handler invocations
+  uint64_t dropped() const;      ///< losses from drop_probability
+  uint64_t partitioned() const;  ///< deliveries suppressed by partitions
+  /// @}
+
+ private:
+  struct Sub {
+    InvalidationHandler handler;
+    bool partitioned = false;
+  };
+
+  mutable std::mutex mu_;  // guards subs_, rng_, counters
+  FanoutOptions options_;
+  Rng rng_;
+  std::vector<Sub> subs_;
+  uint64_t published_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t partitioned_ = 0;
+};
+
+}  // namespace csxa::dissem
+
+#endif  // CSXA_DISSEM_INVALIDATION_H_

@@ -79,4 +79,16 @@ Result<Response> CachingClient::Execute(Request request) {
   return resp;
 }
 
+void CachingClient::Invalidate(const std::string& doc_id,
+                               uint64_t rules_version) {
+  std::unique_lock lock(mu_);
+  auto it = cache_.find(doc_id);
+  if (it == cache_.end()) return;
+  // Keep entries already at (or past) the notified version: the
+  // notification raced a fill of the very update it announces.
+  if (rules_version != 0 && it->second.rules_version >= rules_version) return;
+  cache_.erase(it);
+  fanout_invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace csxa::dsp

@@ -54,7 +54,18 @@ class CachingClient : public Service {
   uint64_t invalidations() const {
     return invalidations_.load(std::memory_order_relaxed);
   }
+  /// Entries dropped by push notifications (Invalidate()).
+  uint64_t fanout_invalidations() const {
+    return fanout_invalidations_.load(std::memory_order_relaxed);
+  }
   /// @}
+
+  /// Push-invalidation entry point for the dissemination fan-out
+  /// (dissem/invalidation.h): drops the cached entry when its version is
+  /// older than `rules_version` (0 drops unconditionally). Purely an
+  /// optimization — a lost or reordered notification only costs one
+  /// revalidation round trip, because every open revalidates anyway.
+  void Invalidate(const std::string& doc_id, uint64_t rules_version);
 
   /// Number of cached documents (tests).
   size_t cache_size() const {
@@ -75,6 +86,7 @@ class CachingClient : public Service {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> fanout_invalidations_{0};
 };
 
 }  // namespace csxa::dsp

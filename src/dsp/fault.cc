@@ -1,0 +1,70 @@
+#include "dsp/fault.h"
+
+#include "common/logging.h"
+
+namespace csxa::dsp {
+
+FaultInjectingService::FaultInjectingService(Service* backend,
+                                             FaultOptions options)
+    : backend_(backend), options_(std::move(options)), rng_(options_.seed) {
+  CSXA_CHECK(backend_ != nullptr);
+}
+
+FaultKind FaultInjectingService::Classify(uint64_t index) {
+  // Manual toggles dominate the script: the load harness flips them on a
+  // completed-op clock while tests script exact request windows.
+  if (crashed_.load(std::memory_order_relaxed)) return FaultKind::kCrash;
+  if (partitioned_.load(std::memory_order_relaxed)) {
+    return FaultKind::kPartition;
+  }
+  for (const FaultWindow& w : options_.schedule) {
+    if (index >= w.from_request && index < w.to_request) return w.kind;
+  }
+  if (options_.timeout_probability > 0) {
+    std::lock_guard lock(rng_mu_);
+    if (rng_.Chance(options_.timeout_probability)) return FaultKind::kTimeout;
+  }
+  return FaultKind::kNone;
+}
+
+Result<Response> FaultInjectingService::Execute(Request request) {
+  const uint64_t index = requests_.fetch_add(1, std::memory_order_relaxed);
+  const FaultKind kind = Classify(index);
+  if (kind != FaultKind::kNone) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  switch (kind) {
+    case FaultKind::kNone:
+      return backend_->Execute(std::move(request));
+    case FaultKind::kCrash:
+      crashes_.fetch_add(1, std::memory_order_relaxed);
+      return Status::IoError("replica crashed (injected)");
+    case FaultKind::kPartition:
+      partitions_.fetch_add(1, std::memory_order_relaxed);
+      return Status::IoError("network partition (injected)");
+    case FaultKind::kTimeout: {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      // Applied, response lost: the caller must treat the outcome as
+      // unknown — the at-least-once case retries and quorums exist for.
+      (void)backend_->Execute(std::move(request));
+      return Status::IoError("response timed out (injected)");
+    }
+    case FaultKind::kBlackhole: {
+      blackholes_.fetch_add(1, std::memory_order_relaxed);
+      // Dropped but acknowledged: the backend never sees the request, yet
+      // the caller gets a plausible empty success. A replica fed this on a
+      // write is now silently stale.
+      return Response{};
+    }
+    case FaultKind::kDuplicate: {
+      duplicates_.fetch_add(1, std::memory_order_relaxed);
+      Request replay = request;  // the duplicated delivery
+      Result<Response> first = backend_->Execute(std::move(request));
+      if (!first.ok()) return first;
+      return backend_->Execute(std::move(replay));
+    }
+  }
+  return Status::Internal("unhandled fault kind");
+}
+
+}  // namespace csxa::dsp

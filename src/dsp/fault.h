@@ -1,0 +1,152 @@
+#ifndef CSXA_DSP_FAULT_H_
+#define CSXA_DSP_FAULT_H_
+
+/// \file fault.h
+/// \brief Deterministic fault injection for the DSP serving stack.
+///
+/// The replicated fabric's failure modes — crashed replicas, network
+/// partitions, lost responses, replayed (duplicated) requests — must be
+/// unit tests, not hopes. FaultInjectingService is a Service decorator
+/// that breaks its backend on a *script*: each fault is a window over the
+/// decorator's own request counter, so a test (or the load harness) can
+/// say "requests 20..60 hit a crashed server" and get exactly that, every
+/// run. Probabilistic response drops use the repo's deterministic
+/// env-overridable RNG, seeded from the options.
+///
+/// Fault vocabulary (FaultKind):
+///  - kCrash:     the process is gone. The request is NOT applied; the
+///                caller sees IoError. State is retained across restore
+///                (modeling a paused process / rebooted node with its
+///                store intact; durable-state loss is ROADMAP item 1).
+///  - kPartition: the network is gone. Same visible effect as kCrash —
+///                distinguishing them matters only for the counters and
+///                for tests that heal the two independently.
+///  - kTimeout:   the request IS applied but the response is lost; the
+///                caller sees IoError. The at-least-once hazard: a write
+///                that "failed" actually happened.
+///  - kBlackhole: the request is silently dropped but acknowledged with a
+///                fabricated empty-OK response. Models a replica that lies
+///                about having applied a write — the way a backup becomes
+///                stale while looking healthy (the stale-read guard in
+///                ReplicatedService exists for exactly this).
+///  - kDuplicate: the request is applied twice (a replayed delivery); the
+///                caller sees the second response. Safe for idempotent
+///                reads; for kUpdateRules it bumps the version twice,
+///                which version-keyed caches must absorb.
+///
+/// Threading: safe for concurrent Execute() from any number of threads.
+/// The request counter and manual toggles are atomics; the drop RNG is
+/// mutexed. Note that under concurrency the *assignment* of concurrent
+/// requests to counter indices is racy by nature — schedules stay
+/// deterministic for single-threaded tests and statistically faithful for
+/// the load harness.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dsp/service.h"
+
+namespace csxa::dsp {
+
+/// \brief What a scripted fault does to one request.
+enum class FaultKind : uint8_t {
+  kNone,       ///< healthy
+  kCrash,      ///< not applied, IoError (process down; state retained)
+  kPartition,  ///< not applied, IoError (network down)
+  kTimeout,    ///< applied, response replaced with IoError
+  kBlackhole,  ///< NOT applied, fabricated empty-OK response
+  kDuplicate,  ///< applied twice, second response returned
+};
+
+/// \brief One scripted fault: requests with index in [from, to) get `kind`.
+struct FaultWindow {
+  uint64_t from_request = 0;  ///< inclusive, 0-based request index
+  uint64_t to_request = 0;    ///< exclusive
+  FaultKind kind = FaultKind::kCrash;
+};
+
+/// \brief Fault schedule of one injector.
+struct FaultOptions {
+  /// Scripted windows, checked in order; the first match wins.
+  std::vector<FaultWindow> schedule;
+  /// Per-request probability of a kTimeout (lost response) outside any
+  /// scheduled window; 0 disables.
+  double timeout_probability = 0;
+  /// Seed of the drop RNG (the usual deterministic Rng).
+  uint64_t seed = 1;
+};
+
+/// \brief Service decorator injecting scripted and random faults.
+class FaultInjectingService : public Service {
+ public:
+  /// `backend` must outlive the injector.
+  FaultInjectingService(Service* backend, FaultOptions options);
+  explicit FaultInjectingService(Service* backend)
+      : FaultInjectingService(backend, FaultOptions{}) {}
+
+  Result<Response> Execute(Request request) override;
+  /// The backend's view; a crashed injector still reports its backend's
+  /// counters (the monitor's view of a dead node is the heartbeat, not
+  /// its stats endpoint).
+  ServiceStats stats() const override { return backend_->stats(); }
+
+  /// \name Manual toggles (the load harness flips these mid-run)
+  /// @{
+  void set_crashed(bool v) { crashed_.store(v, std::memory_order_relaxed); }
+  void set_partitioned(bool v) {
+    partitioned_.store(v, std::memory_order_relaxed);
+  }
+  bool crashed() const { return crashed_.load(std::memory_order_relaxed); }
+  bool partitioned() const {
+    return partitioned_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+  /// \name Injection statistics
+  /// @{
+  uint64_t requests_seen() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t faults_injected() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
+  uint64_t crashes() const { return crashes_.load(std::memory_order_relaxed); }
+  uint64_t partitions() const {
+    return partitions_.load(std::memory_order_relaxed);
+  }
+  uint64_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  uint64_t blackholes() const {
+    return blackholes_.load(std::memory_order_relaxed);
+  }
+  uint64_t duplicates() const {
+    return duplicates_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+ private:
+  FaultKind Classify(uint64_t index);
+
+  Service* backend_;
+  FaultOptions options_;
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> partitioned_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> faults_{0};
+  std::atomic<uint64_t> crashes_{0};
+  std::atomic<uint64_t> partitions_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> blackholes_{0};
+  std::atomic<uint64_t> duplicates_{0};
+  std::mutex rng_mu_;
+  Rng rng_;
+};
+
+}  // namespace csxa::dsp
+
+#endif  // CSXA_DSP_FAULT_H_

@@ -54,4 +54,10 @@ Status Service::Remove(const std::string& doc_id) {
   return Execute(std::move(req)).status();
 }
 
+Status Service::Ping() {
+  Request req;
+  req.op = Op::kPing;
+  return Execute(std::move(req)).status();
+}
+
 }  // namespace csxa::dsp

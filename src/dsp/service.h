@@ -20,9 +20,12 @@
 ///  - kPublish / kUpdateRules / kRemove are the owner-side writes.
 ///
 /// Backends compose: DspServer is the in-memory store, ShardedService
-/// routes doc_ids across N backends, CachingClient revalidates header +
-/// sealed-rules by rules version. All of them speak only this protocol,
-/// which is what makes the server side replaceable and scale-out-able.
+/// routes doc_ids across N backends, ReplicatedService runs a
+/// primary/backup replica group, CachingClient revalidates header +
+/// sealed-rules by rules version, FaultInjectingService breaks any of
+/// them on a script, and RetryingClient masks transient failures with
+/// backoff. All of them speak only this protocol, which is what makes
+/// the server side replaceable, scale-out-able and survivable.
 
 #include <string>
 #include <vector>
@@ -49,6 +52,7 @@ enum class Op : uint8_t {
                   ///< caches revalidate the new container)
   kUpdateRules,   ///< replace sealed rules, bump version (the cheap update)
   kRemove,        ///< delete the document
+  kPing,          ///< liveness probe (heartbeat); carries and returns nothing
 };
 
 /// \brief One DSP request. Exactly one Execute() call — one round trip —
@@ -65,6 +69,12 @@ struct Request {
   Bytes container;
   /// kPublish, kUpdateRules: the sealed rule-set blob.
   Bytes sealed_rules;
+  /// kPublish, kUpdateRules: when non-zero, the backend stores exactly this
+  /// rules version instead of assigning floor+1. Replication-internal: the
+  /// replication layer stamps the primary's canonical version onto backup
+  /// applies and op-log catch-up replays so every replica converges on the
+  /// same version history. Client code leaves it 0.
+  uint64_t force_rules_version = 0;
 };
 
 /// \brief One DSP response. Fields are populated per the request op.
@@ -121,6 +131,9 @@ class Service {
                  Bytes sealed_rules);
   Status UpdateRules(const std::string& doc_id, Bytes sealed_rules);
   Status Remove(const std::string& doc_id);
+  /// Liveness probe: OK iff the backend (the whole fleet, for routers) is
+  /// reachable. Heartbeat monitors call this, nothing else should.
+  Status Ping();
   /// @}
 };
 

@@ -35,6 +35,19 @@ Result<Response> ShardedService::Execute(Request request) {
     shard_requests_[shard].fetch_add(1, std::memory_order_relaxed);
   };
 
+  // A heartbeat probes the whole fleet: one unreachable shard makes the
+  // endpoint unhealthy (a replica is only in-sync if every shard is).
+  if (request.op == Op::kPing) {
+    Response last;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      count(i);
+      Result<Response> probe = shards_[i]->Execute(request);
+      if (!probe.ok()) return probe;
+      last = std::move(probe).value();
+    }
+    return last;
+  }
+
   // Publishing lands on the home shard — and must then clear any copy a
   // non-home shard still holds from an older layout, or reads could fail
   // over to the superseded container. The home publish goes FIRST: if the

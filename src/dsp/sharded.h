@@ -14,6 +14,13 @@
 /// resurrect a superseded or deleted document. Terminals are oblivious —
 /// they speak the same Execute() protocol to one shard or to a fleet.
 ///
+/// Failover here is *layout* failover (the document lives on a non-home
+/// shard), counted once per operation regardless of how many shards an op
+/// touches — NOT availability failover. Routing away from crashed or
+/// lagging replicas is ReplicatedService's job (replicated.h), which
+/// keeps its own read_reroutes / primary_promotions counters; stack the
+/// two (replica groups of sharded fleets) to get both.
+///
 /// Threading: the router holds no mutable routing state — only atomic
 /// counters — so concurrent Execute() calls are safe as long as the
 /// backend shards are themselves thread-safe (DspServer is). Multi-shard
@@ -48,14 +55,16 @@ class ShardedService : public Service {
 
   /// \name Routing statistics
   /// @{
-  /// Requests issued to each shard (including failover probes); a
-  /// point-in-time snapshot under concurrency.
+  /// Requests issued to each shard (including failover probes and remove
+  /// sweeps); a point-in-time snapshot under concurrency.
   std::vector<uint64_t> shard_requests() const;
   /// Operations that found the document on a non-home shard while the
   /// home shard missed — evidence of old-layout residency. Counted at
-  /// most once per operation: read failovers, remove sweeps that only
-  /// hit elsewhere, and publishes that cleared a stale non-home copy of
-  /// an id the home shard had never seen.
+  /// most ONCE per operation (not once per probed shard): read failovers,
+  /// remove sweeps that only hit elsewhere, and publishes that cleared a
+  /// stale non-home copy of an id the home shard had never seen. For
+  /// crash/partition failover counts see the replica-level counters in
+  /// ReplicatedService::replication_stats() (replicated.h).
   uint64_t failovers() const {
     return failovers_.load(std::memory_order_relaxed);
   }

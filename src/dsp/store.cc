@@ -8,6 +8,8 @@ namespace {
 // Modeled fixed framing of a response that carries only status + version
 // (the not-modified revalidation reply).
 constexpr uint64_t kRevalidationWireBytes = 16;
+// Modeled framing of a heartbeat probe reply (status only).
+constexpr uint64_t kPingWireBytes = 8;
 }  // namespace
 
 Result<Response> DspServer::OpenDocumentImpl(const Request& request,
@@ -36,6 +38,9 @@ Result<Response> DspServer::OpenDocumentImpl(const Request& request,
 Result<Response> DspServer::GetChunksImpl(const Request& request,
                                           const Entry& entry) const {
   Response resp;
+  // Chunk replies carry the document's rules version too, so a replicated
+  // read path can detect a lagging replica on ANY read, not just opens.
+  resp.rules_version = entry.rules_version;
   for (const ChunkSpan& span : request.spans) {
     for (uint32_t i = 0; i < span.count; ++i) {
       uint32_t index = span.first + i;
@@ -76,7 +81,12 @@ Result<Response> DspServer::Execute(Request request) {
                    retired != retired_versions_.end()) {
           floor = retired->second;
         }
-        entry.rules_version = floor + 1;
+        // A replication layer stamps the primary's canonical version so
+        // replicas converge on one version history; plain clients leave
+        // force_rules_version 0 and get the monotone floor+1.
+        entry.rules_version = request.force_rules_version != 0
+                                  ? request.force_rules_version
+                                  : floor + 1;
         Response resp;
         resp.rules_version = entry.rules_version;
         docs_.insert_or_assign(request.doc_id, std::move(entry));
@@ -90,7 +100,11 @@ Result<Response> DspServer::Execute(Request request) {
           return Status::NotFound("document " + request.doc_id);
         }
         it->second.sealed_rules = std::move(request.sealed_rules);
-        ++it->second.rules_version;
+        if (request.force_rules_version != 0) {
+          it->second.rules_version = request.force_rules_version;
+        } else {
+          ++it->second.rules_version;
+        }
         Response resp;
         resp.rules_version = it->second.rules_version;
         return resp;
@@ -109,6 +123,12 @@ Result<Response> DspServer::Execute(Request request) {
         return Response{};
       }
 
+      case Op::kPing: {
+        Response resp;
+        resp.wire_bytes = kPingWireBytes;
+        return resp;
+      }
+
       case Op::kOpenDocument:
       case Op::kGetChunks:
       case Op::kGetContainer: {
@@ -125,6 +145,7 @@ Result<Response> DspServer::Execute(Request request) {
             return GetChunksImpl(request, entry);
           default: {
             Response resp;
+            resp.rules_version = entry.rules_version;
             resp.container = *entry.container_bytes;
             resp.wire_bytes = resp.container.size();
             return resp;

@@ -1,6 +1,7 @@
 #include "workload/load.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
@@ -9,8 +10,12 @@
 #include <vector>
 
 #include "common/random.h"
+#include "dissem/invalidation.h"
 #include "dsp/async.h"
 #include "dsp/caching.h"
+#include "dsp/fault.h"
+#include "dsp/replicated.h"
+#include "dsp/retrying.h"
 #include "dsp/sharded.h"
 #include "dsp/store.h"
 #include "pki/registry.h"
@@ -55,21 +60,67 @@ LoadReport RunLoad(const LoadOptions& options) {
   if (opt.sessions == 0) opt.sessions = 1;
   if (opt.shards == 0) opt.shards = 1;
   if (opt.documents == 0) opt.documents = 1;
+  if (opt.replicas == 0) opt.replicas = 1;
 
   // --- The deployment under test -----------------------------------------
+  // Per replica: a `shards`-wide DspServer fleet behind one router, wrapped
+  // in a fault injector (idle unless the plan scripts otherwise). The
+  // replica group runs above the routers; the dispatcher, cache and retry
+  // edge stack above the group.
   std::vector<std::unique_ptr<dsp::DspServer>> stores;
-  std::vector<dsp::Service*> shard_ptrs;
-  for (size_t i = 0; i < opt.shards; ++i) {
-    stores.push_back(std::make_unique<dsp::DspServer>());
-    shard_ptrs.push_back(stores.back().get());
+  std::vector<std::unique_ptr<dsp::ShardedService>> routers;
+  std::vector<std::unique_ptr<dsp::FaultInjectingService>> injectors;
+  std::vector<dsp::Service*> replica_ptrs;
+  for (size_t r = 0; r < opt.replicas; ++r) {
+    std::vector<dsp::Service*> shard_ptrs;
+    for (size_t i = 0; i < opt.shards; ++i) {
+      stores.push_back(std::make_unique<dsp::DspServer>());
+      shard_ptrs.push_back(stores.back().get());
+    }
+    routers.push_back(std::make_unique<dsp::ShardedService>(shard_ptrs));
+    dsp::FaultOptions fopt;
+    fopt.seed = opt.seed * 131 + r;
+    if (opt.faults.enabled) {
+      fopt.timeout_probability = opt.faults.timeout_probability;
+    }
+    injectors.push_back(std::make_unique<dsp::FaultInjectingService>(
+        routers.back().get(), fopt));
+    replica_ptrs.push_back(injectors.back().get());
   }
-  dsp::ShardedService sharded(shard_ptrs);
+  dsp::ReplicationOptions ropt;
+  ropt.write_quorum = opt.write_quorum;
+  ropt.suspect_after = opt.suspect_after;
+  dsp::ReplicatedService replicated(replica_ptrs, ropt);
+
+  // Policy-update push channel: committed writes fan out to the shared
+  // cache (best-effort; the pull path self-heals what this drops).
+  dissem::FanoutOptions fanopt;
+  fanopt.drop_probability = opt.faults.notify_drop_probability;
+  fanopt.seed = opt.seed * 977 + 5;
+  dissem::InvalidationFanout fanout(fanopt);
+  replicated.set_on_write_committed(
+      [&fanout](const std::string& doc_id, uint64_t rules_version) {
+        fanout.Publish(doc_id, rules_version);
+      });
+
   dsp::AsyncDispatcher::Options dopt;
   dopt.workers = opt.workers;
-  dsp::AsyncDispatcher dispatcher(&sharded, dopt);
+  dsp::AsyncDispatcher dispatcher(&replicated, dopt);
   // ONE cache shared by every session: its locks are part of what the
   // harness stresses (and what cache hits make cheap).
   dsp::CachingClient cached(&dispatcher);
+  fanout.Subscribe([&cached](const std::string& doc_id, uint64_t version) {
+    cached.Invalidate(doc_id, version);
+  });
+  dsp::RetryOptions retopt;
+  retopt.max_attempts = opt.retry_attempts;
+  dsp::RetryingClient retrying(&cached, retopt);
+  // Heartbeats are pumped while a client is backing off — detection and
+  // failover make progress exactly when someone is waiting on them. They
+  // go straight to the replica group (not through the dispatcher), so
+  // lane clocks measure serving work only.
+  retrying.set_on_backoff(
+      [&replicated](int, double) { replicated.HeartbeatTick(); });
   pki::KeyRegistry registry;
 
   const std::vector<Scenario> scenarios = AllScenarios();
@@ -80,9 +131,9 @@ LoadReport RunLoad(const LoadOptions& options) {
   std::vector<std::unique_ptr<proxy::Publisher>> publishers;
   for (size_t k = 0; k < opt.sessions; ++k) {
     publishers.push_back(
-        std::make_unique<proxy::Publisher>(&cached, &registry, opt.seed + k));
+        std::make_unique<proxy::Publisher>(&retrying, &registry, opt.seed + k));
   }
-  proxy::Publisher setup_publisher(&cached, &registry, opt.seed + 7777);
+  proxy::Publisher setup_publisher(&retrying, &registry, opt.seed + 7777);
 
   std::vector<DocInfo> shared_docs;
   for (size_t d = 0; d < opt.documents; ++d) {
@@ -118,7 +169,44 @@ LoadReport RunLoad(const LoadOptions& options) {
 
   // Measure the run, not the setup: snapshot every monotone counter.
   const std::vector<double> lanes_before = dispatcher.lane_busy_seconds();
-  const std::vector<uint64_t> shards_before = sharded.shard_requests();
+  const std::vector<uint64_t> shards_before = routers[0]->shard_requests();
+
+  // --- The scripted fault schedule ----------------------------------------
+  // Driven by the completed-operation clock: whichever session crosses a
+  // threshold first applies the transition, exactly once. Healing pumps a
+  // heartbeat round so the recovered replica reintegrates promptly.
+  std::atomic<uint64_t> completed_ops{0};
+  std::atomic<bool> crash_applied{false}, crash_healed{false};
+  std::atomic<bool> partition_applied{false}, partition_healed{false};
+  const FaultPlan& plan = opt.faults;
+  const bool crash_active = plan.enabled && plan.crash_replica < opt.replicas;
+  const bool partition_active =
+      plan.enabled && plan.partition_replica < opt.replicas;
+  auto advance_faults = [&](uint64_t done) {
+    if (!plan.enabled) return;
+    bool expected = false;
+    if (crash_active && done >= plan.crash_at_op &&
+        crash_applied.compare_exchange_strong(expected, true)) {
+      injectors[plan.crash_replica]->set_crashed(true);
+    }
+    expected = false;
+    if (crash_active && done >= plan.crash_heal_at_op &&
+        crash_healed.compare_exchange_strong(expected, true)) {
+      injectors[plan.crash_replica]->set_crashed(false);
+      replicated.HeartbeatTick();
+    }
+    expected = false;
+    if (partition_active && done >= plan.partition_at_op &&
+        partition_applied.compare_exchange_strong(expected, true)) {
+      injectors[plan.partition_replica]->set_partitioned(true);
+    }
+    expected = false;
+    if (partition_active && done >= plan.partition_heal_at_op &&
+        partition_healed.compare_exchange_strong(expected, true)) {
+      injectors[plan.partition_replica]->set_partitioned(false);
+      replicated.HeartbeatTick();
+    }
+  };
 
   // --- The run: N concurrent terminal sessions ---------------------------
   struct SessionOutcome {
@@ -138,7 +226,7 @@ LoadReport RunLoad(const LoadOptions& options) {
       const std::string& subject =
           doc.subjects[rng.Uniform(doc.subjects.size())];
       const auto& q = scn.queries[rng.Uniform(scn.queries.size())];
-      proxy::Terminal terminal(subject, opt.card, &cached, &registry);
+      proxy::Terminal terminal(subject, opt.card, &retrying, &registry);
       if (!terminal.Provision(doc.doc_id).ok()) {
         ++out.failures;
         return;
@@ -189,6 +277,8 @@ LoadReport RunLoad(const LoadOptions& options) {
       } else {
         run_query(own.info);  // read-your-own-writes path
       }
+      advance_faults(completed_ops.fetch_add(1, std::memory_order_relaxed) +
+                     1);
     }
   };
 
@@ -199,6 +289,16 @@ LoadReport RunLoad(const LoadOptions& options) {
     threads.emplace_back(session_body, k);
   }
   for (std::thread& t : threads) t.join();
+
+  // End healed: clear any fault the schedule never got around to lifting
+  // and reintegrate, so the report shows the group's steady end state.
+  if (plan.enabled) {
+    for (auto& injector : injectors) {
+      injector->set_crashed(false);
+      injector->set_partitioned(false);
+    }
+    replicated.HeartbeatTick();
+  }
   const auto wall_end = std::chrono::steady_clock::now();
 
   // --- The report ---------------------------------------------------------
@@ -206,6 +306,7 @@ LoadReport RunLoad(const LoadOptions& options) {
   report.sessions = opt.sessions;
   report.workers = dispatcher.worker_count();
   report.shards = opt.shards;
+  report.replicas = opt.replicas;
   report.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
 
@@ -237,7 +338,7 @@ LoadReport RunLoad(const LoadOptions& options) {
         static_cast<double>(total_ops) / report.modeled_makespan_seconds;
   }
 
-  const std::vector<uint64_t> shards_after = sharded.shard_requests();
+  const std::vector<uint64_t> shards_after = routers[0]->shard_requests();
   uint64_t shard_total = 0, shard_max = 0;
   for (size_t i = 0; i < shards_after.size(); ++i) {
     const uint64_t n = shards_after[i] - shards_before[i];
@@ -250,11 +351,30 @@ LoadReport RunLoad(const LoadOptions& options) {
         static_cast<double>(shard_max) * static_cast<double>(opt.shards) /
         static_cast<double>(shard_total);
   }
-  report.failovers = sharded.failovers();
+  report.failovers = routers[0]->failovers();
   report.cache_hits = cached.hits();
   report.cache_misses = cached.misses();
   report.cache_invalidations = cached.invalidations();
-  report.backend = sharded.stats();
+  report.backend = replicated.stats();
+
+  report.retries = retrying.retries();
+  report.retry_exhausted = retrying.exhausted();
+  report.modeled_backoff_seconds = retrying.modeled_backoff_seconds();
+  const dsp::ReplicationStats rstats = replicated.replication_stats();
+  report.replica_read_reroutes = rstats.read_reroutes;
+  report.primary_promotions = rstats.primary_promotions;
+  report.stale_reads_detected = rstats.stale_reads_detected;
+  report.stale_reads_served = rstats.stale_reads_served;
+  report.quorum_failures = rstats.quorum_failures;
+  report.reintegrations = rstats.reintegrations;
+  report.heartbeats = rstats.heartbeats;
+  report.heartbeat_failures = rstats.heartbeat_failures;
+  for (const auto& injector : injectors) {
+    report.faults_injected += injector->faults_injected();
+  }
+  report.notifications_delivered = fanout.delivered();
+  report.notifications_dropped = fanout.dropped();
+  report.fanout_invalidations = cached.fanout_invalidations();
   return report;
 }
 

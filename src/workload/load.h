@@ -3,16 +3,28 @@
 
 /// \file load.h
 /// \brief Multi-tenant load harness: N concurrent terminal sessions
-/// against a sharded, cached, asynchronously-dispatched DSP deployment.
+/// against a replicated, sharded, cached, asynchronously-dispatched DSP
+/// deployment — optionally under a scripted fault schedule.
 ///
-/// This is ROADMAP item 1 made measurable. The harness assembles the full
-/// serving stack — CachingClient over AsyncDispatcher over ShardedService
-/// over N DspServers, one shared pki::KeyRegistry — publishes a pool of
-/// scenario documents, then lets `sessions` OS threads replay mixed
-/// traffic (authorized queries over the scenario rule sets, cheap policy
-/// updates, full republishes) concurrently. Every layer below the
-/// terminals is shared mutable state; the harness is both the throughput
-/// experiment and, under ThreadSanitizer, the race detector for it.
+/// This is ROADMAP items 1 and 3 made measurable. The harness assembles
+/// the full serving stack — RetryingClient over CachingClient over
+/// AsyncDispatcher over ReplicatedService over `replicas` fault-injected
+/// ShardedService fleets of DspServers, one shared pki::KeyRegistry —
+/// publishes a pool of scenario documents, then lets `sessions` OS
+/// threads replay mixed traffic (authorized queries over the scenario
+/// rule sets, cheap policy updates, full republishes) concurrently. Every
+/// layer below the terminals is shared mutable state; the harness is both
+/// the throughput experiment and, under ThreadSanitizer, the race
+/// detector for it.
+///
+/// With `faults.enabled`, replicas crash and partition mid-run on the
+/// completed-operation clock and heal later; heartbeats are pumped from
+/// the retry layer's backoff hook (failure detection advances exactly
+/// when clients are stalled on it, as wall-clock time would interleave
+/// them) and committed policy updates fan out to the shared cache through
+/// the dissemination invalidation channel. The acceptance bar is in the
+/// counters: failures and stale_reads_served stay zero while retries,
+/// reroutes, promotions and reintegrations record the turbulence.
 ///
 /// Reported throughput divides completed operations by the *modeled*
 /// server makespan (the busiest dispatcher lane's accumulated modeled
@@ -30,6 +42,28 @@
 #include "soe/card_profile.h"
 
 namespace csxa::workload {
+
+/// Scripted mid-run fault schedule, on the completed-operation clock
+/// (deterministic under any thread interleaving up to +-1 op).
+struct FaultPlan {
+  bool enabled = false;
+  /// Replica crashed once this many client ops completed...
+  size_t crash_replica = 1;
+  uint64_t crash_at_op = 4;
+  /// ...and healed (reintegrated via op-log catch-up) at this count.
+  uint64_t crash_heal_at_op = 16;
+  /// Replica partitioned away / healed, same clock. Skipped when the
+  /// index is out of range (e.g. a 2-replica run).
+  size_t partition_replica = 2;
+  uint64_t partition_at_op = 10;
+  uint64_t partition_heal_at_op = 22;
+  /// Per-notification drop probability on the invalidation channel.
+  double notify_drop_probability = 0;
+  /// Per-request probability (each replica's injector) of an applied-but-
+  /// lost-response timeout — the at-least-once hazard the retry edge and
+  /// write quorum absorb.
+  double timeout_probability = 0;
+};
 
 /// Knobs of one load run.
 struct LoadOptions {
@@ -55,6 +89,19 @@ struct LoadOptions {
   size_t chunk_size = 256;
   /// Card hardware model used by every terminal.
   soe::CardProfile card = soe::CardProfile::EGate();
+
+  /// Replica groups in the fabric: each replica is its own `shards`-wide
+  /// DspServer fleet behind a fault injector. 1 is an unreplicated (but
+  /// still fully decorated) stack.
+  size_t replicas = 1;
+  /// Replicas that must apply a write before it is acked; 0 = majority.
+  size_t write_quorum = 0;
+  /// Consecutive missed heartbeats before a replica is declared down.
+  int suspect_after = 2;
+  /// Terminal-edge retry budget (total attempts; 1 disables retries).
+  int retry_attempts = 4;
+  /// Scripted crash/partition schedule (needs replicas > 1 to be useful).
+  FaultPlan faults;
 };
 
 /// What one load run measured.
@@ -78,14 +125,32 @@ struct LoadReport {
   double p50_latency_ms = 0;
   double p99_latency_ms = 0;
 
-  std::vector<uint64_t> shard_requests;  ///< per shard, this run
+  std::vector<uint64_t> shard_requests;  ///< per shard (replica 0), this run
   double shard_imbalance = 0;            ///< max/mean of shard_requests
   std::vector<double> lane_busy_seconds; ///< per dispatcher lane, this run
-  uint64_t failovers = 0;
+  uint64_t failovers = 0;  ///< layout failovers (replica 0's router)
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_invalidations = 0;
-  dsp::ServiceStats backend;  ///< aggregate fleet stats, end of run
+  dsp::ServiceStats backend;  ///< primary replica's fleet stats, end of run
+
+  // --- Replication / fault-tolerance counters (zero when quiet) ---
+  size_t replicas = 0;
+  uint64_t retries = 0;          ///< terminal-edge attempts beyond the first
+  uint64_t retry_exhausted = 0;  ///< ops that ran out of retry budget
+  double modeled_backoff_seconds = 0;  ///< total modeled retry backoff
+  uint64_t replica_read_reroutes = 0;  ///< reads served by a non-first replica
+  uint64_t primary_promotions = 0;
+  uint64_t stale_reads_detected = 0;  ///< stale replies caught and bypassed
+  uint64_t stale_reads_served = 0;    ///< MUST stay 0 — the invariant
+  uint64_t quorum_failures = 0;
+  uint64_t reintegrations = 0;
+  uint64_t heartbeats = 0;
+  uint64_t heartbeat_failures = 0;
+  uint64_t faults_injected = 0;  ///< total over all replica injectors
+  uint64_t notifications_delivered = 0;  ///< invalidation fan-out
+  uint64_t notifications_dropped = 0;
+  uint64_t fanout_invalidations = 0;  ///< cache entries dropped by push
 };
 
 /// Runs one load experiment; deterministic given options.seed except for
