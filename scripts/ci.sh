@@ -22,12 +22,21 @@ ctest --output-on-failure -L transport
 cd ..
 
 # ThreadSanitizer pass over the serving-stack suites: the transport,
-# concurrency and fault labels exercise the shared caches, sharded stores,
-# the async dispatcher and the replicated fabric (failover, catch-up,
-# retry storms) from many threads — TSan turns latent races into
-# failures. Separate build dir (instrumentation is ABI-incompatible);
-# benches and examples are skipped to keep the instrumented build small.
+# concurrency, fault and durable labels exercise the shared caches,
+# sharded stores, the async dispatcher, the replicated fabric (failover,
+# catch-up, retry storms) and the durable block store from many threads —
+# TSan turns latent races into failures. Separate build dir
+# (instrumentation is ABI-incompatible); benches and examples are skipped
+# to keep the instrumented build small.
 cmake -B build-tsan -S . -DCSXA_SANITIZE=thread \
   -DCSXA_BUILD_BENCH=OFF -DCSXA_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j
-(cd build-tsan && ctest --output-on-failure -L "transport|concurrency|fault")
+(cd build-tsan && ctest --output-on-failure -L "transport|concurrency|fault|durable")
+
+# AddressSanitizer pass over the durable store: the block layer, crash
+# recovery and quarantine paths shuffle raw buffers, truncate files and
+# replay torn tails — exactly where an off-by-one reads out of bounds.
+cmake -B build-asan -S . -DCSXA_SANITIZE=address \
+  -DCSXA_BUILD_BENCH=OFF -DCSXA_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j
+(cd build-asan && ctest --output-on-failure -L durable)

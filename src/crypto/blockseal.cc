@@ -1,0 +1,101 @@
+#include "crypto/blockseal.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "crypto/modes.h"
+
+namespace csxa::crypto {
+
+namespace {
+
+constexpr size_t kNonceSize = 16;
+
+// The MAC input reproduces everything the reader must trust: a domain
+// label, the AAD (store identity and block index — where this block is
+// allowed to live), the nonce and the ciphertext. The ciphertext length
+// (and with it the block size) is bound implicitly by the HMAC input.
+Digest BlockMac(const SymmetricKey& mac_key, const std::string& store_id,
+                uint64_t block_index, Span nonce, Span ciphertext) {
+  ByteWriter w;
+  w.PutString("csxa-block-v1");
+  w.PutString(store_id);
+  w.PutU64(block_index);
+  w.PutBytes(nonce);
+  w.PutBytes(ciphertext);
+  return HmacSha256(mac_key.bytes(), w.bytes());
+}
+
+}  // namespace
+
+Bytes SealBlock(const SymmetricKey& key, const std::string& store_id,
+                uint64_t block_index, Span payload, Rng* nonce_rng,
+                size_t block_size) {
+  CSXA_CHECK(block_size > kSealedBlockOverhead);
+  CSXA_CHECK(payload.size() <= BlockPayloadCapacity(block_size));
+  uint8_t nonce[kNonceSize];
+  for (size_t i = 0; i < kNonceSize; i += 8) {
+    uint64_t v = nonce_rng->Next();
+    std::memcpy(nonce + i, &v, 8);
+  }
+  // Plaintext: u32 payload length, the payload, zero padding to the fixed
+  // block interior. The length travels inside the sealed envelope so a
+  // padded block round-trips exactly.
+  const size_t plain_size = block_size - kNonceSize - kSha256Size;
+  Bytes plain(plain_size, 0);
+  plain[0] = static_cast<uint8_t>(payload.size());
+  plain[1] = static_cast<uint8_t>(payload.size() >> 8);
+  plain[2] = static_cast<uint8_t>(payload.size() >> 16);
+  plain[3] = static_cast<uint8_t>(payload.size() >> 24);
+  if (!payload.empty()) {
+    std::memcpy(plain.data() + 4, payload.data(), payload.size());
+  }
+  Aes128 aes = key.Derive("block-enc").EncryptionCipher();
+  Iv iv = DeriveCtrIv(Span(nonce, kNonceSize), block_index);
+  Bytes cipher;
+  CtrTransform(aes, iv, plain, &cipher);
+  Digest mac = BlockMac(key.MacKey(), store_id, block_index,
+                        Span(nonce, kNonceSize), cipher);
+
+  Bytes block;
+  block.reserve(block_size);
+  block.insert(block.end(), nonce, nonce + kNonceSize);
+  block.insert(block.end(), mac.begin(), mac.end());
+  block.insert(block.end(), cipher.begin(), cipher.end());
+  CSXA_CHECK(block.size() == block_size);
+  return block;
+}
+
+Result<Bytes> OpenBlock(const SymmetricKey& key, const std::string& store_id,
+                        uint64_t block_index, Span block, size_t block_size) {
+  if (block.size() != block_size) {
+    return Status::IntegrityError(
+        "sealed block " + std::to_string(block_index) + ": wrong size " +
+        std::to_string(block.size()));
+  }
+  Span nonce = block.subspan(0, kNonceSize);
+  Span tag = block.subspan(kNonceSize, kSha256Size);
+  Span cipher = block.subspan(kNonceSize + kSha256Size);
+  Digest mac = BlockMac(key.MacKey(), store_id, block_index, nonce, cipher);
+  if (!(Span(mac.data(), mac.size()) == tag)) {
+    return Status::IntegrityError(
+        "sealed block " + std::to_string(block_index) +
+        ": auth tag mismatch (tampered, relocated or foreign block)");
+  }
+  Aes128 aes = key.Derive("block-enc").EncryptionCipher();
+  Iv iv = DeriveCtrIv(nonce, block_index);
+  Bytes plain;
+  CtrTransform(aes, iv, cipher, &plain);
+  uint32_t len = static_cast<uint32_t>(plain[0]) |
+                 static_cast<uint32_t>(plain[1]) << 8 |
+                 static_cast<uint32_t>(plain[2]) << 16 |
+                 static_cast<uint32_t>(plain[3]) << 24;
+  if (len > BlockPayloadCapacity(block_size)) {
+    return Status::IntegrityError("sealed block " +
+                                  std::to_string(block_index) +
+                                  ": impossible payload length");
+  }
+  return Bytes(plain.begin() + 4, plain.begin() + 4 + len);
+}
+
+}  // namespace csxa::crypto

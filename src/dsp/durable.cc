@@ -1,0 +1,504 @@
+#include "dsp/durable.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace csxa::dsp {
+
+namespace {
+
+// Modeled framing costs, identical to DspServer's.
+constexpr uint64_t kRevalidationWireBytes = 16;
+constexpr uint64_t kPingWireBytes = 8;
+
+// Manifest record / blob types. A blob carries the same type tag as the
+// record that commits it, so a remapped extent of the wrong kind is
+// caught before any field is trusted.
+enum RecordType : uint8_t {
+  kCommit = 1,      // publish/republish: blob = container + sealed rules
+  kRulesCommit = 2,  // rules update: blob = sealed rules
+  kRemove = 3,      // tombstone; no blob
+  kClean = 4,       // clean-shutdown marker; no blob
+  kInUse = 5,       // appended at open to consume a kClean marker, so a
+                    // crash after a warm open still forces the cold path
+};
+
+// Keeps every record type within one 512 B manifest frame.
+constexpr size_t kMaxDocIdSize = 256;
+
+struct RecordFields {
+  uint8_t type = 0;
+  std::string doc_id;
+  uint64_t version = 0;
+  uint64_t first_block = 0;
+  uint64_t block_count = 0;
+};
+
+Result<RecordFields> ParseRecord(Span payload) {
+  RecordFields rec;
+  ByteReader r(payload);
+  if (!r.GetU8(&rec.type)) {
+    return Status::IntegrityError("manifest record: empty");
+  }
+  if (rec.type == kClean || rec.type == kInUse) return rec;
+  bool ok = r.GetString(&rec.doc_id) && r.GetU64(&rec.version);
+  if (ok && (rec.type == kCommit || rec.type == kRulesCommit)) {
+    ok = r.GetU64(&rec.first_block) && r.GetU64(&rec.block_count);
+  }
+  if (!ok || !r.AtEnd()) {
+    return Status::IntegrityError("manifest record: malformed fields");
+  }
+  return rec;
+}
+
+Bytes EncodeCommitRecord(uint8_t type, const std::string& doc_id,
+                         uint64_t version, uint64_t first_block,
+                         uint64_t block_count) {
+  ByteWriter w;
+  w.PutU8(type);
+  w.PutString(doc_id);
+  w.PutU64(version);
+  if (type == kCommit || type == kRulesCommit) {
+    w.PutU64(first_block);
+    w.PutU64(block_count);
+  }
+  return w.Take();
+}
+
+// Blob layout: type tag, embedded identity, then the payloads. Identity
+// and version are cross-checked against the committing manifest record so
+// extents cannot be remapped between documents.
+Bytes EncodeBlob(uint8_t type, const std::string& doc_id, uint64_t version,
+                 Span container, Span sealed_rules) {
+  ByteWriter w;
+  w.PutU8(type);
+  w.PutString(doc_id);
+  w.PutU64(version);
+  if (type == kCommit) w.PutLengthPrefixed(container);
+  w.PutLengthPrefixed(sealed_rules);
+  return w.Take();
+}
+
+struct BlobFields {
+  Bytes container;     // kCommit only
+  Bytes sealed_rules;  // kCommit and kRulesCommit
+};
+
+Result<BlobFields> ParseBlob(Span blob, uint8_t want_type,
+                             const std::string& want_doc_id,
+                             uint64_t want_version) {
+  ByteReader r(blob);
+  uint8_t type = 0;
+  std::string doc_id;
+  uint64_t version = 0;
+  if (!r.GetU8(&type) || !r.GetString(&doc_id) || !r.GetU64(&version)) {
+    return Status::IntegrityError("stored blob: truncated envelope");
+  }
+  if (type != want_type || doc_id != want_doc_id || version != want_version) {
+    return Status::IntegrityError(
+        "stored blob for '" + want_doc_id + "' v" +
+        std::to_string(want_version) + " carries '" + doc_id + "' v" +
+        std::to_string(version) + ": extent remapped between documents");
+  }
+  BlobFields out;
+  Span payload;
+  if (type == kCommit) {
+    if (!r.GetLengthPrefixed(&payload)) {
+      return Status::IntegrityError("stored blob: truncated container");
+    }
+    out.container = payload.ToBytes();
+  }
+  if (!r.GetLengthPrefixed(&payload) || !r.AtEnd()) {
+    return Status::IntegrityError("stored blob: truncated sealed rules");
+  }
+  out.sealed_rules = payload.ToBytes();
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableServer>> DurableServer::Open(
+    DurableOptions options) {
+  if (options.env == nullptr) options.env = PosixEnv::Default();
+  CSXA_RETURN_IF_ERROR(options.env->CreateDir(options.directory));
+
+  auto server = std::unique_ptr<DurableServer>(new DurableServer());
+  server->store_id_ = options.store_id;
+  server->key_ = options.key;
+
+  uint64_t data_torn_bytes = 0;
+  CSXA_ASSIGN_OR_RETURN(
+      server->blocks_,
+      BlockLog::Open(options.env, options.directory, options.key,
+                     options.store_id, options.segment_bytes,
+                     &data_torn_bytes));
+  ManifestScan scan;
+  CSXA_ASSIGN_OR_RETURN(
+      server->manifest_,
+      ManifestLog::Open(options.env, options.directory + "/MANIFEST",
+                        options.key, options.store_id, &scan));
+  server->nonce_rng_ = Rng(options.nonce_seed ^
+                           (0x9e3779b97f4a7c15ULL *
+                            (server->manifest_.next_seq() + 1)));
+
+  // Replay the manifest into document metadata.
+  RecoveryReport& report = server->recovery_;
+  report.manifest_records = scan.records.size();
+  report.torn_tail_records = scan.torn_tail_records;
+  report.torn_tail_bytes = scan.torn_tail_bytes + data_torn_bytes;
+  uint64_t committed_end = 0;
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    CSXA_ASSIGN_OR_RETURN(RecordFields rec, ParseRecord(scan.records[i]));
+    report.clean_shutdown = rec.type == kClean;
+    switch (rec.type) {
+      case kCommit: {
+        Doc doc;
+        doc.rules_version = rec.version;
+        doc.commit_version = rec.version;
+        doc.first_block = rec.first_block;
+        doc.block_count = rec.block_count;
+        server->docs_[rec.doc_id] = std::move(doc);
+        break;
+      }
+      case kRulesCommit: {
+        auto it = server->docs_.find(rec.doc_id);
+        if (it == server->docs_.end()) {
+          return Status::IntegrityError(
+              "manifest: rules update for unknown document '" + rec.doc_id +
+              "'");
+        }
+        it->second.rules_version = rec.version;
+        it->second.rules_first = rec.first_block;
+        it->second.rules_count = rec.block_count;
+        break;
+      }
+      case kRemove:
+        server->retired_versions_[rec.doc_id] = rec.version;
+        server->docs_.erase(rec.doc_id);
+        break;
+      case kClean:
+      case kInUse:
+        break;
+      default:
+        return Status::IntegrityError("manifest: unknown record type " +
+                                      std::to_string(rec.type));
+    }
+    committed_end = std::max(committed_end, rec.first_block + rec.block_count);
+  }
+  report.documents = server->docs_.size();
+
+  // GC: blocks past the last committed extent were appended by a mutation
+  // whose commit record never made it — the op never happened.
+  if (server->blocks_.block_count() > committed_end) {
+    report.orphaned_blocks_gced =
+        server->blocks_.block_count() - committed_end;
+    CSXA_RETURN_IF_ERROR(server->blocks_.TruncateBlocks(committed_end));
+  }
+
+  if (report.clean_shutdown) {
+    // Consume the marker: from here the store is in use, and a crash
+    // before the next Close() must force the cold path.
+    CSXA_RETURN_IF_ERROR(server->manifest_.Append(
+        EncodeCommitRecord(kInUse, std::string(), 0, 0, 0),
+        &server->nonce_rng_));
+  } else {
+    // Cold open: the previous run ended in a crash (or this is a fresh
+    // store) — authenticate every live document now so damage surfaces at
+    // open, not at first read.
+    for (auto& [doc_id, doc] : server->docs_) {
+      report.blocks_verified += doc.block_count + doc.rules_count;
+      Status loaded = server->LoadDoc(doc_id, &doc);
+      if (!loaded.ok()) {
+        report.quarantined.push_back(doc_id);
+        server->quarantine_.emplace(doc_id, std::move(loaded));
+      }
+    }
+  }
+  return server;
+}
+
+Result<std::pair<uint64_t, uint64_t>> DurableServer::WriteExtent(Span blob) {
+  const uint64_t first = blocks_.block_count();
+  uint64_t count = 0;
+  for (size_t off = 0; off == 0 || off < blob.size();
+       off += crypto::kBlockPayloadCapacity) {
+    size_t n = std::min(crypto::kBlockPayloadCapacity, blob.size() - off);
+    CSXA_RETURN_IF_ERROR(
+        blocks_.AppendBlock(blob.subspan(off, n), &nonce_rng_).status());
+    ++count;
+  }
+  // Data durable before the manifest may name it (commit protocol step 2).
+  CSXA_RETURN_IF_ERROR(blocks_.Sync());
+  return std::make_pair(first, count);
+}
+
+Result<Bytes> DurableServer::ReadExtent(uint64_t first,
+                                        uint64_t count) const {
+  Bytes blob;
+  for (uint64_t i = 0; i < count; ++i) {
+    CSXA_ASSIGN_OR_RETURN(Bytes part, blocks_.ReadBlock(first + i));
+    blob.insert(blob.end(), part.begin(), part.end());
+  }
+  return blob;
+}
+
+Status DurableServer::LoadDoc(const std::string& doc_id, Doc* doc) {
+  CSXA_ASSIGN_OR_RETURN(Bytes blob,
+                        ReadExtent(doc->first_block, doc->block_count));
+  CSXA_ASSIGN_OR_RETURN(
+      BlobFields fields,
+      ParseBlob(blob, kCommit, doc_id, doc->commit_version));
+  auto container_bytes = std::make_unique<Bytes>(std::move(fields.container));
+  CSXA_ASSIGN_OR_RETURN(crypto::SecureContainer container,
+                        crypto::SecureContainer::Parse(*container_bytes));
+  Bytes sealed_rules = std::move(fields.sealed_rules);
+  if (doc->rules_count > 0) {
+    CSXA_ASSIGN_OR_RETURN(Bytes rules_blob,
+                          ReadExtent(doc->rules_first, doc->rules_count));
+    CSXA_ASSIGN_OR_RETURN(
+        BlobFields rules,
+        ParseBlob(rules_blob, kRulesCommit, doc_id, doc->rules_version));
+    sealed_rules = std::move(rules.sealed_rules);
+  }
+  doc->container_bytes = std::move(container_bytes);
+  doc->container = std::move(container);
+  doc->sealed_rules = std::move(sealed_rules);
+  doc->loaded = true;
+  return Status::OK();
+}
+
+Result<Response> DurableServer::ServeRead(const Request& request,
+                                          const Doc& doc) const {
+  switch (request.op) {
+    case Op::kOpenDocument: {
+      Response resp;
+      resp.rules_version = doc.rules_version;
+      if (request.known_rules_version != 0 &&
+          request.known_rules_version == doc.rules_version) {
+        resp.not_modified = true;
+        resp.wire_bytes = kRevalidationWireBytes;
+        not_modified_.fetch_add(1, std::memory_order_relaxed);
+        return resp;
+      }
+      const Bytes& raw = *doc.container_bytes;
+      if (raw.size() < crypto::ContainerHeader::kWireSize) {
+        return Status::Internal("stored container shorter than a header");
+      }
+      resp.header.assign(raw.begin(),
+                         raw.begin() + crypto::ContainerHeader::kWireSize);
+      resp.sealed_rules = doc.sealed_rules;
+      resp.wire_bytes = resp.header.size() + resp.sealed_rules.size() + 8;
+      return resp;
+    }
+    case Op::kGetChunks: {
+      Response resp;
+      resp.rules_version = doc.rules_version;
+      for (const ChunkSpan& span : request.spans) {
+        for (uint32_t i = 0; i < span.count; ++i) {
+          uint32_t index = span.first + i;
+          soe::ChunkData chunk;
+          CSXA_ASSIGN_OR_RETURN(Span cipher,
+                                doc.container.ChunkCiphertext(index));
+          chunk.ciphertext = cipher.ToBytes();
+          CSXA_ASSIGN_OR_RETURN(chunk.auth, doc.container.GetChunkAuth(index));
+          resp.wire_bytes += chunk.WireBytes(doc.container.header().integrity);
+          resp.chunks.push_back(std::move(chunk));
+        }
+      }
+      chunks_served_.fetch_add(resp.chunks.size(), std::memory_order_relaxed);
+      return resp;
+    }
+    default: {  // kGetContainer
+      Response resp;
+      resp.rules_version = doc.rules_version;
+      resp.container = *doc.container_bytes;
+      resp.wire_bytes = resp.container.size();
+      return resp;
+    }
+  }
+}
+
+Result<Response> DurableServer::Execute(Request request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  Result<Response> result = [&]() -> Result<Response> {
+    switch (request.op) {
+      case Op::kPublish: {
+        if (request.doc_id.size() > kMaxDocIdSize) {
+          return Status::InvalidArgument("doc_id too long to commit");
+        }
+        // Parse before taking the lock: validation needs no store state.
+        auto container_bytes =
+            std::make_unique<Bytes>(std::move(request.container));
+        CSXA_ASSIGN_OR_RETURN(
+            crypto::SecureContainer container,
+            crypto::SecureContainer::Parse(*container_bytes));
+
+        std::unique_lock lock(mu_);
+        // Same version monotonicity as DspServer: republish and
+        // remove-then-republish must exceed every version ever served.
+        uint64_t floor = 0;
+        auto existing = docs_.find(request.doc_id);
+        if (existing != docs_.end()) {
+          floor = existing->second.rules_version;
+        } else if (auto retired = retired_versions_.find(request.doc_id);
+                   retired != retired_versions_.end()) {
+          floor = retired->second;
+        }
+        uint64_t version = request.force_rules_version != 0
+                               ? request.force_rules_version
+                               : floor + 1;
+        Bytes blob = EncodeBlob(kCommit, request.doc_id, version,
+                                *container_bytes, request.sealed_rules);
+        CSXA_ASSIGN_OR_RETURN(auto extent, WriteExtent(blob));
+        CSXA_RETURN_IF_ERROR(manifest_.Append(
+            EncodeCommitRecord(kCommit, request.doc_id, version,
+                               extent.first, extent.second),
+            &nonce_rng_));
+        // Committed: apply to memory. A republish heals any quarantine.
+        Doc doc;
+        doc.rules_version = version;
+        doc.commit_version = version;
+        doc.first_block = extent.first;
+        doc.block_count = extent.second;
+        doc.loaded = true;
+        doc.container_bytes = std::move(container_bytes);
+        doc.container = std::move(container);
+        doc.sealed_rules = std::move(request.sealed_rules);
+        docs_[request.doc_id] = std::move(doc);
+        quarantine_.erase(request.doc_id);
+        Response resp;
+        resp.rules_version = version;
+        return resp;
+      }
+
+      case Op::kUpdateRules: {
+        std::unique_lock lock(mu_);
+        if (auto q = quarantine_.find(request.doc_id);
+            q != quarantine_.end()) {
+          return q->second;
+        }
+        auto it = docs_.find(request.doc_id);
+        if (it == docs_.end()) {
+          return Status::NotFound("document " + request.doc_id);
+        }
+        uint64_t version = request.force_rules_version != 0
+                               ? request.force_rules_version
+                               : it->second.rules_version + 1;
+        Bytes blob = EncodeBlob(kRulesCommit, request.doc_id, version,
+                                Span(), request.sealed_rules);
+        CSXA_ASSIGN_OR_RETURN(auto extent, WriteExtent(blob));
+        CSXA_RETURN_IF_ERROR(manifest_.Append(
+            EncodeCommitRecord(kRulesCommit, request.doc_id, version,
+                               extent.first, extent.second),
+            &nonce_rng_));
+        it->second.rules_version = version;
+        it->second.rules_first = extent.first;
+        it->second.rules_count = extent.second;
+        if (it->second.loaded) {
+          it->second.sealed_rules = std::move(request.sealed_rules);
+        }
+        Response resp;
+        resp.rules_version = version;
+        return resp;
+      }
+
+      case Op::kRemove: {
+        std::unique_lock lock(mu_);
+        auto it = docs_.find(request.doc_id);
+        if (it == docs_.end()) {
+          return Status::NotFound("document " + request.doc_id);
+        }
+        uint64_t version = it->second.rules_version;
+        CSXA_RETURN_IF_ERROR(manifest_.Append(
+            EncodeCommitRecord(kRemove, request.doc_id, version, 0, 0),
+            &nonce_rng_));
+        retired_versions_[request.doc_id] = version;
+        docs_.erase(it);
+        // Removing a damaged document is a legitimate way to retire it.
+        quarantine_.erase(request.doc_id);
+        return Response{};
+      }
+
+      case Op::kPing: {
+        Response resp;
+        resp.wire_bytes = kPingWireBytes;
+        return resp;
+      }
+
+      case Op::kOpenDocument:
+      case Op::kGetChunks:
+      case Op::kGetContainer: {
+        {
+          std::shared_lock lock(mu_);
+          if (auto q = quarantine_.find(request.doc_id);
+              q != quarantine_.end()) {
+            return q->second;
+          }
+          auto it = docs_.find(request.doc_id);
+          if (it == docs_.end()) {
+            return Status::NotFound("document " + request.doc_id);
+          }
+          if (it->second.loaded) return ServeRead(request, it->second);
+        }
+        // Warm-open lazy path: first access loads and verifies the blobs
+        // under the exclusive lock (this also serializes the BlockLog).
+        std::unique_lock lock(mu_);
+        if (auto q = quarantine_.find(request.doc_id);
+            q != quarantine_.end()) {
+          return q->second;
+        }
+        auto it = docs_.find(request.doc_id);
+        if (it == docs_.end()) {
+          return Status::NotFound("document " + request.doc_id);
+        }
+        if (!it->second.loaded) {
+          Status loaded = LoadDoc(request.doc_id, &it->second);
+          if (!loaded.ok()) {
+            quarantine_.emplace(request.doc_id, loaded);
+            return loaded;
+          }
+        }
+        return ServeRead(request, it->second);
+      }
+    }
+    return Status::InvalidArgument("unknown DSP op");
+  }();
+
+  if (result.ok()) {
+    bytes_served_.fetch_add(result.value().wire_bytes,
+                            std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Status DurableServer::Close() {
+  std::unique_lock lock(mu_);
+  if (closed_) return Status::OK();
+  CSXA_RETURN_IF_ERROR(manifest_.Append(
+      EncodeCommitRecord(kClean, std::string(), 0, 0, 0), &nonce_rng_));
+  closed_ = true;
+  return Status::OK();
+}
+
+std::vector<std::string> DurableServer::quarantined() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [doc_id, status] : quarantine_) out.push_back(doc_id);
+  return out;
+}
+
+ServiceStats DurableServer::stats() const {
+  ServiceStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.chunks_served = chunks_served_.load(std::memory_order_relaxed);
+  out.bytes_served = bytes_served_.load(std::memory_order_relaxed);
+  out.not_modified = not_modified_.load(std::memory_order_relaxed);
+  out.documents = size();
+  return out;
+}
+
+}  // namespace csxa::dsp

@@ -62,11 +62,24 @@ Result<Response> DspServer::Execute(Request request) {
   Result<Response> result = [&]() -> Result<Response> {
     switch (request.op) {
       case Op::kPublish: {
+        // Probe under the shared lock: a republish whose container bytes
+        // are identical to the stored ones (rules-only republish,
+        // replication catch-up replays) can skip the re-parse entirely.
+        bool maybe_identical = false;
+        {
+          std::shared_lock lock(mu_);
+          auto it = docs_.find(request.doc_id);
+          maybe_identical = it != docs_.end() &&
+                            *it->second.container_bytes == request.container;
+        }
         Entry entry;
-        entry.container_bytes =
-            std::make_unique<Bytes>(std::move(request.container));
-        CSXA_ASSIGN_OR_RETURN(entry.container, crypto::SecureContainer::Parse(
-                                                   *entry.container_bytes));
+        if (!maybe_identical) {
+          entry.container_bytes =
+              std::make_unique<Bytes>(std::move(request.container));
+          CSXA_ASSIGN_OR_RETURN(entry.container,
+                                crypto::SecureContainer::Parse(
+                                    *entry.container_bytes));
+        }
         entry.sealed_rules = std::move(request.sealed_rules);
         std::unique_lock lock(mu_);
         // Monotone even across republish and remove-then-republish: a new
@@ -89,6 +102,24 @@ Result<Response> DspServer::Execute(Request request) {
                                   : floor + 1;
         Response resp;
         resp.rules_version = entry.rules_version;
+        if (maybe_identical && existing != docs_.end() &&
+            *existing->second.container_bytes == request.container) {
+          // Confirmed under the exclusive lock: keep the stored container
+          // and its parse, replacing only rules and version.
+          publish_parse_skips_.fetch_add(1, std::memory_order_relaxed);
+          existing->second.sealed_rules = std::move(entry.sealed_rules);
+          existing->second.rules_version = entry.rules_version;
+          return resp;
+        }
+        if (entry.container_bytes == nullptr) {
+          // The probe matched but a racing write changed the stored bytes
+          // before we got the exclusive lock: parse now.
+          entry.container_bytes =
+              std::make_unique<Bytes>(std::move(request.container));
+          CSXA_ASSIGN_OR_RETURN(entry.container,
+                                crypto::SecureContainer::Parse(
+                                    *entry.container_bytes));
+        }
         docs_.insert_or_assign(request.doc_id, std::move(entry));
         return resp;
       }

@@ -46,6 +46,13 @@ class DspServer : public Service {
     return docs_.size();
   }
 
+  /// Publishes that reused the stored parse because the incoming container
+  /// bytes were identical to the stored ones (replication catch-up and
+  /// rules-only republish make this common).
+  uint64_t publish_parse_skips() const {
+    return publish_parse_skips_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Entry {
     std::unique_ptr<Bytes> container_bytes;  // stable address for the view
@@ -74,6 +81,7 @@ class DspServer : public Service {
   mutable std::atomic<uint64_t> chunks_served_{0};
   mutable std::atomic<uint64_t> bytes_served_{0};
   mutable std::atomic<uint64_t> not_modified_{0};
+  mutable std::atomic<uint64_t> publish_parse_skips_{0};
 };
 
 }  // namespace csxa::dsp

@@ -12,7 +12,9 @@
 #include "common/random.h"
 #include "dissem/invalidation.h"
 #include "dsp/async.h"
+#include "dsp/blockfile.h"
 #include "dsp/caching.h"
+#include "dsp/durable.h"
 #include "dsp/fault.h"
 #include "dsp/replicated.h"
 #include "dsp/retrying.h"
@@ -67,14 +69,31 @@ LoadReport RunLoad(const LoadOptions& options) {
   // in a fault injector (idle unless the plan scripts otherwise). The
   // replica group runs above the routers; the dispatcher, cache and retry
   // edge stack above the group.
-  std::vector<std::unique_ptr<dsp::DspServer>> stores;
+  std::vector<std::unique_ptr<dsp::Service>> stores;
+  std::vector<std::unique_ptr<dsp::MemEnv>> envs;  // durable backend disks
   std::vector<std::unique_ptr<dsp::ShardedService>> routers;
   std::vector<std::unique_ptr<dsp::FaultInjectingService>> injectors;
   std::vector<dsp::Service*> replica_ptrs;
   for (size_t r = 0; r < opt.replicas; ++r) {
     std::vector<dsp::Service*> shard_ptrs;
     for (size_t i = 0; i < opt.shards; ++i) {
-      stores.push_back(std::make_unique<dsp::DspServer>());
+      if (opt.backend == StoreBackend::kDurable) {
+        // Each shard of each replica is its own durable store on its own
+        // hermetic in-RAM disk — the full sealed-block write path under
+        // the full decorated stack.
+        envs.push_back(std::make_unique<dsp::MemEnv>());
+        dsp::DurableOptions dur;
+        dur.directory = "store";
+        dur.store_id =
+            "load-r" + std::to_string(r) + "-s" + std::to_string(i);
+        Rng key_rng(opt.seed * 63 + r * 17 + i);
+        dur.key = crypto::SymmetricKey::Generate(&key_rng);
+        dur.env = envs.back().get();
+        dur.nonce_seed = opt.seed * 311 + r * 31 + i;
+        stores.push_back(std::move(dsp::DurableServer::Open(dur)).value());
+      } else {
+        stores.push_back(std::make_unique<dsp::DspServer>());
+      }
       shard_ptrs.push_back(stores.back().get());
     }
     routers.push_back(std::make_unique<dsp::ShardedService>(shard_ptrs));
@@ -115,12 +134,34 @@ LoadReport RunLoad(const LoadOptions& options) {
   dsp::RetryOptions retopt;
   retopt.max_attempts = opt.retry_attempts;
   dsp::RetryingClient retrying(&cached, retopt);
-  // Heartbeats are pumped while a client is backing off — detection and
-  // failover make progress exactly when someone is waiting on them. They
-  // go straight to the replica group (not through the dispatcher), so
-  // lane clocks measure serving work only.
-  retrying.set_on_backoff(
-      [&replicated](int, double) { replicated.HeartbeatTick(); });
+
+  // The failure detector runs on its own modeled cadence: every completed
+  // operation and every retry backoff advances this shared modeled clock
+  // by its modeled latency, and whichever session crosses the next
+  // heartbeat deadline fires exactly one round (the CAS coalesces
+  // concurrent crossings — a single long operation advancing the clock by
+  // many intervals still pays one tick, like a sleepy monitor catching
+  // up). Heartbeats go straight to the replica group (not through the
+  // dispatcher), so lane clocks measure serving work only.
+  std::atomic<uint64_t> modeled_now_us{0};
+  const uint64_t heartbeat_interval_us = static_cast<uint64_t>(
+      std::max(opt.heartbeat_interval_sec, 1e-6) * 1e6);
+  std::atomic<uint64_t> heartbeat_due_us{heartbeat_interval_us};
+  auto advance_modeled_clock = [&](double seconds) {
+    if (seconds <= 0) return;
+    const uint64_t us = static_cast<uint64_t>(seconds * 1e6);
+    const uint64_t now =
+        modeled_now_us.fetch_add(us, std::memory_order_relaxed) + us;
+    uint64_t due = heartbeat_due_us.load(std::memory_order_relaxed);
+    if (now >= due && heartbeat_due_us.compare_exchange_strong(
+                          due, now + heartbeat_interval_us,
+                          std::memory_order_relaxed)) {
+      replicated.HeartbeatTick();
+    }
+  };
+  retrying.set_on_backoff([&advance_modeled_clock](int, double backoff_sec) {
+    advance_modeled_clock(backoff_sec);
+  });
   pki::KeyRegistry registry;
 
   const std::vector<Scenario> scenarios = AllScenarios();
@@ -241,6 +282,7 @@ LoadReport RunLoad(const LoadOptions& options) {
         return;
       }
       out.latencies_sec.push_back(result.value().card.total_seconds);
+      advance_modeled_clock(result.value().card.total_seconds);
     };
 
     for (size_t i = 0; i < opt.ops_per_session; ++i) {
@@ -260,6 +302,7 @@ LoadReport RunLoad(const LoadOptions& options) {
         } else {
           ++out.failures;
         }
+        advance_modeled_clock(write_latency);
       } else if (dice < opt.publish_fraction + opt.update_fraction) {
         // The paper's cheap dynamic policy update: reseal rules, bump the
         // version — every cache holding this doc revalidates.
@@ -272,6 +315,7 @@ LoadReport RunLoad(const LoadOptions& options) {
         } else {
           ++out.failures;
         }
+        advance_modeled_clock(write_latency);
       } else if (!shared_docs.empty() && rng.NextDouble() < 0.8) {
         run_query(shared_docs[rng.Uniform(shared_docs.size())]);
       } else {

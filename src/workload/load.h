@@ -18,13 +18,21 @@
 /// detector for it.
 ///
 /// With `faults.enabled`, replicas crash and partition mid-run on the
-/// completed-operation clock and heal later; heartbeats are pumped from
-/// the retry layer's backoff hook (failure detection advances exactly
-/// when clients are stalled on it, as wall-clock time would interleave
-/// them) and committed policy updates fan out to the shared cache through
-/// the dissemination invalidation channel. The acceptance bar is in the
-/// counters: failures and stale_reads_served stay zero while retries,
-/// reroutes, promotions and reintegrations record the turbulence.
+/// completed-operation clock and heal later; committed policy updates fan
+/// out to the shared cache through the dissemination invalidation channel.
+/// Heartbeats run on their own *modeled* cadence: every operation (and
+/// every retry backoff) advances a shared modeled clock by its modeled
+/// latency, and a heartbeat round fires each time the clock crosses the
+/// configured interval — the failure detector ticks at a rate set by
+/// simulated time, not by how often clients happen to be backing off. The
+/// acceptance bar is in the counters: failures and stale_reads_served
+/// stay zero while retries, reroutes, promotions and reintegrations
+/// record the turbulence.
+///
+/// The shard fleet is either the in-memory DspServer (default) or the
+/// durable encrypted block store (dsp/durable.h) on a hermetic in-RAM
+/// filesystem — the same decorator stack, persisting every committed
+/// write through the sealed block layer.
 ///
 /// Reported throughput divides completed operations by the *modeled*
 /// server makespan (the busiest dispatcher lane's accumulated modeled
@@ -65,6 +73,12 @@ struct FaultPlan {
   double timeout_probability = 0;
 };
 
+/// Which Service backend each shard runs.
+enum class StoreBackend {
+  kMemory,   ///< dsp::DspServer (volatile, the original harness)
+  kDurable,  ///< dsp::DurableServer on a per-shard MemEnv
+};
+
 /// Knobs of one load run.
 struct LoadOptions {
   /// Concurrent terminal sessions (client threads).
@@ -98,6 +112,10 @@ struct LoadOptions {
   size_t write_quorum = 0;
   /// Consecutive missed heartbeats before a replica is declared down.
   int suspect_after = 2;
+  /// Modeled seconds between heartbeat rounds (failure-detector cadence).
+  double heartbeat_interval_sec = 0.01;
+  /// Shard backend (see StoreBackend).
+  StoreBackend backend = StoreBackend::kMemory;
   /// Terminal-edge retry budget (total attempts; 1 disables retries).
   int retry_attempts = 4;
   /// Scripted crash/partition schedule (needs replicas > 1 to be useful).

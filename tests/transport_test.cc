@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "common/random.h"
+#include "crypto/container.h"
 #include "dsp/caching.h"
 #include "dsp/service.h"
 #include "dsp/sharded.h"
@@ -220,6 +222,37 @@ TEST(TransportTest, CachingClientSurvivesRepublish) {
   ASSERT_TRUE(after.ok()) << after.status().ToString();
   EXPECT_EQ(cached.invalidations(), 1u);
   EXPECT_FALSE(after.value().xml.empty());
+}
+
+TEST(TransportTest, RepublishOfIdenticalContainerSkipsTheReparse) {
+  // A publish whose container bytes match the stored ones (rules-only
+  // republish, replication catch-up replay) must not re-parse the
+  // container — and must still bump the version and swap the rules.
+  dsp::DspServer dsp;
+  Rng rng(77);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  Bytes container =
+      crypto::SecureContainer::Seal(key, Bytes(700, 0x5A), 256, &rng);
+
+  ASSERT_TRUE(dsp.Publish("d", container, Bytes(8, 1)).ok());
+  EXPECT_EQ(dsp.publish_parse_skips(), 0u);
+
+  ASSERT_TRUE(dsp.Publish("d", container, Bytes(8, 2)).ok());
+  EXPECT_EQ(dsp.publish_parse_skips(), 1u);
+  auto open = dsp.OpenDocument("d");
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open.value().rules_version, 2u);
+  EXPECT_EQ(open.value().sealed_rules, Bytes(8, 2));
+  auto got = dsp.GetContainer("d");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), container);
+
+  // Different bytes: the parse runs again, the skip counter stays put.
+  Bytes other =
+      crypto::SecureContainer::Seal(key, Bytes(900, 0x3C), 256, &rng);
+  ASSERT_TRUE(dsp.Publish("d", other, Bytes(8, 3)).ok());
+  EXPECT_EQ(dsp.publish_parse_skips(), 1u);
+  EXPECT_EQ(dsp.OpenDocument("d").value().rules_version, 3u);
 }
 
 TEST(TransportTest, ShardedPublishAndRemoveClearStaleCopies) {
