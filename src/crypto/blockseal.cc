@@ -9,7 +9,7 @@ namespace csxa::crypto {
 
 namespace {
 
-constexpr size_t kNonceSize = 16;
+constexpr size_t kNonceSize = kBlockNonceSize;
 
 // The MAC input reproduces everything the reader must trust: a domain
 // label, the AAD (store identity and block index — where this block is
@@ -29,15 +29,12 @@ Digest BlockMac(const SymmetricKey& mac_key, const std::string& store_id,
 }  // namespace
 
 Bytes SealBlock(const SymmetricKey& key, const std::string& store_id,
-                uint64_t block_index, Span payload, Rng* nonce_rng,
+                uint64_t block_index, Span payload, NonceSequence* nonces,
                 size_t block_size) {
   CSXA_CHECK(block_size > kSealedBlockOverhead);
   CSXA_CHECK(payload.size() <= BlockPayloadCapacity(block_size));
-  uint8_t nonce[kNonceSize];
-  for (size_t i = 0; i < kNonceSize; i += 8) {
-    uint64_t v = nonce_rng->Next();
-    std::memcpy(nonce + i, &v, 8);
-  }
+  const std::array<uint8_t, kNonceSize> nonce_arr = nonces->Next();
+  const uint8_t* nonce = nonce_arr.data();
   // Plaintext: u32 payload length, the payload, zero padding to the fixed
   // block interior. The length travels inside the sealed envelope so a
   // padded block round-trips exactly.
@@ -77,7 +74,7 @@ Result<Bytes> OpenBlock(const SymmetricKey& key, const std::string& store_id,
   Span tag = block.subspan(kNonceSize, kSha256Size);
   Span cipher = block.subspan(kNonceSize + kSha256Size);
   Digest mac = BlockMac(key.MacKey(), store_id, block_index, nonce, cipher);
-  if (!(Span(mac.data(), mac.size()) == tag)) {
+  if (!ConstantTimeEqual(Span(mac.data(), mac.size()), tag)) {
     return Status::IntegrityError(
         "sealed block " + std::to_string(block_index) +
         ": auth tag mismatch (tampered, relocated or foreign block)");

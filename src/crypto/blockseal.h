@@ -11,11 +11,22 @@
 /// byte-for-byte to a stolen or malicious storage volume. Every block
 /// written through this layer is therefore sealed independently:
 ///
-///   1. a fresh random 16-byte nonce (prologue),
+///   1. a fresh 16-byte nonce (prologue),
 ///   2. AES-CTR ciphertext of `u32 payload_len || payload || zero pad`,
 ///   3. an HMAC-SHA256 tag over the nonce and ciphertext that also binds
 ///      the *additional authenticated data* `(store_id, block_index)` —
 ///      not stored in the block, supplied by the reader from context.
+///
+/// Nonce discipline: CTR mode turns any (key, nonce, block_index) reuse
+/// with different plaintext into a two-time pad, and under this threat
+/// model the attacker can image the volume at any moment — including
+/// bytes a later truncate "removed". Uniqueness is therefore structural,
+/// not statistical-per-draw: a NonceSequence emits `epoch || counter`
+/// where the 64-bit epoch is drawn fresh from the environment's entropy
+/// source at every store open (see Env::RandomBytes in dsp/blockfile.h)
+/// and the counter is monotonic within the open. A crash that rewinds
+/// block indices (recovery GCs uncommitted tail blocks) can never repeat
+/// a nonce, because the retry runs under a new epoch.
 ///
 /// Because the AAD names where the block is supposed to live, a block
 /// copied to a different index, a block swapped with its neighbour, or a
@@ -28,15 +39,48 @@
 /// the same authenticated-encryption contract as the AES-GCM container in
 /// the sfs exemplar, built from what the tree already audits.
 
+#include <array>
+#include <cstdint>
 #include <string>
 
 #include "common/bytes.h"
-#include "common/random.h"
 #include "common/status.h"
 #include "crypto/keys.h"
 #include "crypto/sha256.h"
 
 namespace csxa::crypto {
+
+/// Nonce size of a sealed block.
+inline constexpr size_t kBlockNonceSize = 16;
+
+/// \brief Structurally unique nonce stream for one store open.
+///
+/// Emits `LE64(epoch) || LE64(counter++)`. The caller supplies an epoch
+/// that is fresh per open (dsp::DurableServer draws it from the Env's
+/// entropy source), so nonces never repeat across crash-recovery cycles
+/// even when block indices rewind; the counter makes them unique within
+/// the open. Not thread-safe — callers serialize (DurableServer holds its
+/// writer mutex across every seal).
+class NonceSequence {
+ public:
+  NonceSequence() = default;
+  explicit NonceSequence(uint64_t epoch) : epoch_(epoch) {}
+
+  /// The next never-before-emitted nonce of this sequence.
+  std::array<uint8_t, kBlockNonceSize> Next() {
+    std::array<uint8_t, kBlockNonceSize> nonce;
+    for (size_t i = 0; i < 8; ++i) {
+      nonce[i] = static_cast<uint8_t>(epoch_ >> (8 * i));
+      nonce[8 + i] = static_cast<uint8_t>(counter_ >> (8 * i));
+    }
+    ++counter_;
+    return nonce;
+  }
+
+ private:
+  uint64_t epoch_ = 0;
+  uint64_t counter_ = 0;
+};
 
 /// Sealed data-block size on disk. 4 KB aligns blocks with common page
 /// and sector sizes, so a torn write damages at most one block.
@@ -53,12 +97,12 @@ inline constexpr size_t kBlockPayloadCapacity =
 
 /// Seals `payload` (at most BlockPayloadCapacity(block_size) bytes) into
 /// one `block_size` block bound to `(store_id, block_index)`. The nonce
-/// comes from `nonce_rng` (the repo's deterministic RNG: reproducible in
-/// tests, unique per block in any single store's lifetime). The manifest
-/// log uses a smaller block size for its fixed-frame records; data blocks
-/// use the 4 KB default.
+/// comes from `nonces` (see NonceSequence: unique across every seal the
+/// store ever performs, including crash-recovery retries that rewind
+/// block indices). The manifest log uses a smaller block size for its
+/// fixed-frame records; data blocks use the 4 KB default.
 Bytes SealBlock(const SymmetricKey& key, const std::string& store_id,
-                uint64_t block_index, Span payload, Rng* nonce_rng,
+                uint64_t block_index, Span payload, NonceSequence* nonces,
                 size_t block_size = kSealedBlockSize);
 
 /// Opens one sealed block, verifying the auth tag under the same

@@ -189,8 +189,9 @@ Result<ChunkAuth> SecureContainer::GetChunkAuth(uint32_t i) const {
 Status SecureContainer::VerifyRoot(const SymmetricKey& key,
                                    const ContainerHeader& header) {
   Digest expected = ComputeRootMac(key, header);
-  if (!(Span(expected.data(), expected.size()) ==
-        Span(header.root_mac.data(), header.root_mac.size()))) {
+  if (!ConstantTimeEqual(Span(expected.data(), expected.size()),
+                         Span(header.root_mac.data(),
+                              header.root_mac.size()))) {
     return Status::IntegrityError("container root MAC mismatch");
   }
   return Status::OK();
@@ -210,8 +211,8 @@ Result<Bytes> SecureContainer::VerifyAndDecryptChunk(
     }
   } else {
     Digest expected = ComputeChunkMac(key, header, index, ciphertext);
-    if (!(Span(expected.data(), expected.size()) ==
-          Span(auth.mac.data(), auth.mac.size()))) {
+    if (!ConstantTimeEqual(Span(expected.data(), expected.size()),
+                           Span(auth.mac.data(), auth.mac.size()))) {
       return Status::IntegrityError("chunk MAC mismatch");
     }
   }
@@ -270,7 +271,7 @@ Result<Bytes> OpenRecord(const SymmetricKey& key, Span sealed) {
   macd.PutBytes(iv_span);
   macd.PutBytes(cipher);
   Digest mac = HmacSha256(key.MacKey().bytes(), macd.bytes());
-  if (!(Span(mac.data(), mac.size()) == mac_span)) {
+  if (!ConstantTimeEqual(Span(mac.data(), mac.size()), mac_span)) {
     return Status::IntegrityError("record MAC mismatch");
   }
   Iv iv;

@@ -149,4 +149,14 @@ Digest HmacSha256(Span key, Span data) {
   return outer.Finish();
 }
 
+bool ConstantTimeEqual(Span a, Span b) {
+  if (a.size() != b.size()) return false;
+  // volatile keeps the compiler from short-circuiting the accumulation.
+  volatile uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<uint8_t>(acc | (a.data()[i] ^ b.data()[i]));
+  }
+  return acc == 0;
+}
+
 }  // namespace csxa::crypto

@@ -46,6 +46,12 @@ class Sha256 {
 /// HMAC-SHA256 (RFC 2104) over `data` with `key` of any length.
 Digest HmacSha256(Span key, Span data);
 
+/// Constant-time byte equality for MAC/tag verification: examines every
+/// byte regardless of where the first mismatch is, so verification latency
+/// cannot leak how long a forged tag's matching prefix was. Length
+/// mismatch returns false immediately (lengths are public).
+bool ConstantTimeEqual(Span a, Span b);
+
 }  // namespace csxa::crypto
 
 #endif  // CSXA_CRYPTO_SHA256_H_

@@ -125,6 +125,49 @@ Status PosixEnv::Remove(const std::string& path) {
   return Status::OK();
 }
 
+Status PosixEnv::SyncDir(const std::string& path) {
+  int fd = ::open(path.empty() ? "." : path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("open dir " + path + ": " + std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync dir " + path + ": " + std::strerror(saved));
+  }
+  return Status::OK();
+}
+
+Result<Bytes> PosixEnv::RandomBytes(size_t n) {
+  Bytes out(n);
+  size_t got = 0;
+  while (got < n) {
+    size_t chunk = std::min<size_t>(n - got, 256);  // getentropy's limit
+    if (::getentropy(out.data() + got, chunk) == 0) {
+      got += chunk;
+      continue;
+    }
+    // Fall back to /dev/urandom (e.g. older kernels without the syscall).
+    int fd = ::open("/dev/urandom", O_RDONLY);
+    if (fd < 0) {
+      return Status::IoError(std::string("no entropy source: ") +
+                             std::strerror(errno));
+    }
+    while (got < n) {
+      ssize_t r = ::read(fd, out.data() + got, n - got);
+      if (r <= 0) {
+        if (r < 0 && errno == EINTR) continue;
+        ::close(fd);
+        return Status::IoError("read /dev/urandom failed");
+      }
+      got += static_cast<size_t>(r);
+    }
+    ::close(fd);
+  }
+  return out;
+}
+
 Status PosixEnv::CreateDir(const std::string& path) {
   // mkdir -p: create each prefix component, tolerating existing ones.
   for (size_t i = 1; i <= path.size(); ++i) {
@@ -223,6 +266,13 @@ Status MemEnv::Remove(const std::string& path) {
     return Status::IoError("mem file not found: " + path);
   }
   return Status::OK();
+}
+
+Result<Bytes> MemEnv::RandomBytes(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bytes out(n);
+  for (uint8_t& b : out) b = static_cast<uint8_t>(entropy_.Next());
+  return out;
 }
 
 Result<Bytes> MemEnv::Snapshot(const std::string& path) const {
@@ -353,6 +403,23 @@ Status FaultyEnv::CreateDir(const std::string& path) {
   return base_->CreateDir(path);
 }
 
+Status FaultyEnv::SyncDir(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) return Status::IoError("disk: process crashed");
+  }
+  if (MutationDies()) return Status::IoError("disk: crash");
+  return base_->SyncDir(path);
+}
+
+Result<Bytes> FaultyEnv::RandomBytes(size_t n) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) return Status::IoError("disk: process crashed");
+  }
+  return base_->RandomBytes(n);
+}
+
 void FaultyEnv::ArmCrash(uint64_t after, size_t torn_tail_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   crash_at_ = writes_ + after;
@@ -441,19 +508,41 @@ Result<File*> BlockLog::SegmentFor(uint64_t index, bool create) const {
   uint64_t seq = index / blocks_per_segment_;
   auto it = segments_.find(seq);
   if (it == segments_.end()) {
-    auto opened = env_->Open(SegmentPath(seq), create);
+    const std::string path = SegmentPath(seq);
+    const bool fresh = create && !env_->Exists(path);
+    auto opened = env_->Open(path, create);
     if (!opened.ok()) return opened.status();
+    if (fresh) {
+      // The directory entry must be durable before any manifest record can
+      // name blocks in this segment — fsyncing the file alone does not
+      // persist its dirent on a real filesystem.
+      Status synced = env_->SyncDir(dir_);
+      if (!synced.ok()) return synced;
+    }
     it = segments_.emplace(seq, std::move(opened).value()).first;
   }
   return it->second.get();
 }
 
-Result<uint64_t> BlockLog::AppendBlock(Span payload, Rng* nonce_rng) {
+Result<uint64_t> BlockLog::AppendBlock(Span payload,
+                                       crypto::NonceSequence* nonces) {
+  if (poisoned_) {
+    return Status::IoError(
+        "block log poisoned: an earlier failed append could not be "
+        "realigned");
+  }
   uint64_t index = block_count_;
   CSXA_ASSIGN_OR_RETURN(File * file, SegmentFor(index, /*create=*/true));
-  Bytes sealed =
-      crypto::SealBlock(key_, store_id_, index, payload, nonce_rng);
-  CSXA_RETURN_IF_ERROR(file->Append(sealed));
+  Bytes sealed = crypto::SealBlock(key_, store_id_, index, payload, nonces);
+  Status appended = file->Append(sealed);
+  if (!appended.ok()) {
+    // A partial append (e.g. ENOSPC midway) leaves a misaligned tail that
+    // would shift every later block off its frame boundary; cut back to
+    // the last whole block, or refuse to continue at all.
+    uint64_t keep = (index % blocks_per_segment_) * crypto::kSealedBlockSize;
+    if (!file->Truncate(keep).ok()) poisoned_ = true;
+    return appended;
+  }
   ++block_count_;
   uint64_t seq = index / blocks_per_segment_;
   if (dirty_.empty() || dirty_.back() != seq) dirty_.push_back(seq);
@@ -491,14 +580,17 @@ Status BlockLog::TruncateBlocks(uint64_t count) {
   uint64_t have_segments = (block_count_ + blocks_per_segment_ - 1) /
                            blocks_per_segment_;
   // Delete whole segments past the keep point.
+  bool removed_any = false;
   for (uint64_t seq = keep_segments == 0 ? (count > 0 ? keep_segments : 0)
                                          : keep_segments;
        seq < have_segments; ++seq) {
     segments_.erase(seq);
     if (env_->Exists(SegmentPath(seq))) {
       CSXA_RETURN_IF_ERROR(env_->Remove(SegmentPath(seq)));
+      removed_any = true;
     }
   }
+  if (removed_any) CSXA_RETURN_IF_ERROR(env_->SyncDir(dir_));
   // Trim the now-last segment to the surviving block count.
   if (count > 0) {
     uint64_t last_seq = (count - 1) / blocks_per_segment_;
@@ -526,7 +618,16 @@ Result<ManifestLog> ManifestLog::Open(Env* env, std::string path,
   log.path_ = std::move(path);
   log.key_ = key;
   log.store_id_ = std::move(store_id) + "#manifest";
+  const bool fresh = !env->Exists(log.path_);
   CSXA_ASSIGN_OR_RETURN(log.file_, env->Open(log.path_, /*create=*/true));
+  if (fresh) {
+    // Make the MANIFEST dirent itself durable before the store commits
+    // anything through it.
+    size_t slash = log.path_.rfind('/');
+    CSXA_RETURN_IF_ERROR(env->SyncDir(
+        slash == std::string::npos ? std::string(".")
+                                   : log.path_.substr(0, slash)));
+  }
 
   ManifestScan out;
   CSXA_ASSIGN_OR_RETURN(uint64_t size, log.file_->Size());
@@ -577,12 +678,27 @@ Result<ManifestLog> ManifestLog::Open(Env* env, std::string path,
   return log;
 }
 
-Status ManifestLog::Append(Span payload, Rng* nonce_rng) {
+Status ManifestLog::Append(Span payload, crypto::NonceSequence* nonces) {
   CSXA_CHECK(payload.size() <= kManifestPayloadCapacity);
+  if (poisoned_) {
+    return Status::IoError(
+        "manifest log poisoned: an earlier failed append could not be "
+        "realigned");
+  }
   Bytes sealed = crypto::SealBlock(key_, store_id_, next_seq_, payload,
-                                   nonce_rng, kManifestRecordSize);
-  CSXA_RETURN_IF_ERROR(file_->Append(sealed));
-  CSXA_RETURN_IF_ERROR(file_->Sync());
+                                   nonces, kManifestRecordSize);
+  Status result = file_->Append(sealed);
+  if (result.ok()) result = file_->Sync();
+  if (!result.ok()) {
+    // The record did not commit. A partial append (or a full one that
+    // never reached the platter) must not stay under the write cursor, or
+    // every later record lands misaligned and fails authentication while
+    // the in-process store believes it is healthy.
+    if (!file_->Truncate(next_seq_ * kManifestRecordSize).ok()) {
+      poisoned_ = true;
+    }
+    return result;
+  }
   ++next_seq_;
   return Status::OK();
 }

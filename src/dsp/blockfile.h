@@ -85,6 +85,17 @@ class Env {
   virtual Status Remove(const std::string& path) = 0;
   /// Creates a directory (and parents); OK if it already exists.
   virtual Status CreateDir(const std::string& path) = 0;
+  /// Durability barrier for the directory itself: file creations and
+  /// removals inside `path` done before this survive a crash. fsyncing a
+  /// file makes its *contents* durable, not its directory entry — without
+  /// this a power loss can keep a durable manifest record while losing
+  /// the segment file it names.
+  virtual Status SyncDir(const std::string& path) = 0;
+  /// `n` fresh entropy bytes. The real env reads the OS CSPRNG; MemEnv
+  /// serves a deterministic stream that lives in the env (the simulated
+  /// machine), so successive store opens — including crash-recovery
+  /// reopens — draw distinct values while tests stay reproducible.
+  virtual Result<Bytes> RandomBytes(size_t n) = 0;
 };
 
 /// \brief Real filesystem via POSIX I/O (pread/write/ftruncate/fsync).
@@ -95,6 +106,9 @@ class PosixEnv : public Env {
   bool Exists(const std::string& path) const override;
   Status Remove(const std::string& path) override;
   Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  /// getentropy(), falling back to /dev/urandom.
+  Result<Bytes> RandomBytes(size_t n) override;
 
   /// Process-wide instance.
   static PosixEnv* Default();
@@ -111,6 +125,8 @@ class MemEnv : public Env {
   bool Exists(const std::string& path) const override;
   Status Remove(const std::string& path) override;
   Status CreateDir(const std::string&) override { return Status::OK(); }
+  Status SyncDir(const std::string&) override { return Status::OK(); }
+  Result<Bytes> RandomBytes(size_t n) override;
 
   /// Direct peek at a file's current bytes (tests).
   Result<Bytes> Snapshot(const std::string& path) const;
@@ -119,6 +135,7 @@ class MemEnv : public Env {
   friend class MemFile;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Bytes>> files_;
+  Rng entropy_{0xe47286a1b5ULL};  ///< survives simulated crashes with files_
 };
 
 /// \brief Scripted disk faults for one FaultyEnv.
@@ -163,6 +180,10 @@ class FaultyEnv : public Env {
   bool Exists(const std::string& path) const override;
   Status Remove(const std::string& path) override;
   Status CreateDir(const std::string& path) override;
+  /// Counts as a mutation: a crash can land between creating a file and
+  /// making its directory entry durable.
+  Status SyncDir(const std::string& path) override;
+  Result<Bytes> RandomBytes(size_t n) override;
 
   /// Re-arms the crash: the `after`-th mutation from *now* dies (0 = the
   /// very next one), tearing `torn_tail_bytes` of a dying append.
@@ -207,8 +228,11 @@ class BlockLog {
                                uint64_t* torn_tail_bytes = nullptr);
 
   /// Appends one sealed block; returns its global index. Not durable
-  /// until Sync().
-  Result<uint64_t> AppendBlock(Span payload, Rng* nonce_rng);
+  /// until Sync(). A failed append (e.g. ENOSPC after a partial write)
+  /// truncates the segment back to the last whole-block boundary so later
+  /// appends stay frame-aligned; if even that fails, the log is poisoned
+  /// and every further append is refused — it never corrupts forward.
+  Result<uint64_t> AppendBlock(Span payload, crypto::NonceSequence* nonces);
   /// Reads and opens (verifies + decrypts) block `index`.
   Result<Bytes> ReadBlock(uint64_t index) const;
   /// Fsyncs every segment touched since the last Sync().
@@ -238,6 +262,7 @@ class BlockLog {
   std::string store_id_;
   uint64_t blocks_per_segment_ = 0;
   uint64_t block_count_ = 0;
+  bool poisoned_ = false;  // failed append could not be realigned
   mutable std::map<uint64_t, std::unique_ptr<File>> segments_;  // lazy cache
   std::vector<uint64_t> dirty_;  // segment seqs with unsynced appends
 };
@@ -254,6 +279,13 @@ struct ManifestScan {
   /// Trailing bytes dropped as a torn write (a partial final frame and/or
   /// one final full frame failing authentication).
   uint64_t torn_tail_bytes = 0;
+  /// Full final frames dropped (0 or 1). Unlike a partial frame — which
+  /// only an interrupted append produces — a whole frame failing
+  /// authentication is ambiguous: a crash mid-frame leaves it, but so
+  /// does an attacker flipping one bit of the *last committed record* to
+  /// roll the store back by exactly one mutation. Callers must surface
+  /// this (DurableServer reports it as rollback_suspected and lets
+  /// publishers anchor the expected record count; see DurableOptions).
   uint64_t torn_tail_records = 0;
 };
 
@@ -270,7 +302,11 @@ class ManifestLog {
 
   /// Appends one sealed record (next sequence number) and fsyncs — this
   /// is the commit point. The record is durable when Append returns OK.
-  Status Append(Span payload, Rng* nonce_rng);
+  /// On append/fsync failure the file is truncated back to the last
+  /// committed frame so the log stays frame-aligned (the record did NOT
+  /// commit); if realignment fails too, the log is poisoned and refuses
+  /// all further appends rather than corrupt forward.
+  Status Append(Span payload, crypto::NonceSequence* nonces);
 
   uint64_t next_seq() const { return next_seq_; }
 
@@ -284,6 +320,7 @@ class ManifestLog {
   std::string store_id_;
   std::unique_ptr<File> file_;
   uint64_t next_seq_ = 0;
+  bool poisoned_ = false;  // failed append could not be realigned
 };
 
 }  // namespace csxa::dsp

@@ -140,15 +140,40 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
       server->manifest_,
       ManifestLog::Open(options.env, options.directory + "/MANIFEST",
                         options.key, options.store_id, &scan));
-  server->nonce_rng_ = Rng(options.nonce_seed ^
-                           (0x9e3779b97f4a7c15ULL *
-                            (server->manifest_.next_seq() + 1)));
+  // Fresh nonce epoch per open: any mutation this store retries after a
+  // crash rewound its block indices seals under a different epoch, so the
+  // CTR (key, nonce, index) triple can never repeat (blockseal.h).
+  CSXA_ASSIGN_OR_RETURN(Bytes epoch_bytes, options.env->RandomBytes(8));
+  uint64_t epoch = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    epoch |= static_cast<uint64_t>(epoch_bytes[i]) << (8 * i);
+  }
+  server->nonces_ = crypto::NonceSequence(epoch);
+
+  if (options.expected_manifest_records > scan.records.size()) {
+    return Status::IntegrityError(
+        "manifest rollback: publisher committed " +
+        std::to_string(options.expected_manifest_records) +
+        " records but only " + std::to_string(scan.records.size()) +
+        " survive the scan");
+  }
 
   // Replay the manifest into document metadata.
   RecoveryReport& report = server->recovery_;
   report.manifest_records = scan.records.size();
   report.torn_tail_records = scan.torn_tail_records;
   report.torn_tail_bytes = scan.torn_tail_bytes + data_torn_bytes;
+  // A dropped FULL frame is ambiguous between a torn commit append and an
+  // attacker rolling back the last committed record; surface it instead
+  // of absorbing it silently into the torn-tail count.
+  report.rollback_suspected = scan.torn_tail_records > 0;
+  if (report.rollback_suspected) {
+    CSXA_LOG(kWarning)
+        << "store '" << options.store_id << "': dropped a whole trailing "
+        << "manifest frame failing authentication — a torn commit, or a "
+        << "one-record rollback by the volume; verify against the last "
+        << "commit_seq if one was retained";
+  }
   uint64_t committed_end = 0;
   for (size_t i = 0; i < scan.records.size(); ++i) {
     CSXA_ASSIGN_OR_RETURN(RecordFields rec, ParseRecord(scan.records[i]));
@@ -203,7 +228,7 @@ Result<std::unique_ptr<DurableServer>> DurableServer::Open(
     // before the next Close() must force the cold path.
     CSXA_RETURN_IF_ERROR(server->manifest_.Append(
         EncodeCommitRecord(kInUse, std::string(), 0, 0, 0),
-        &server->nonce_rng_));
+        &server->nonces_));
   } else {
     // Cold open: the previous run ended in a crash (or this is a fresh
     // store) — authenticate every live document now so damage surfaces at
@@ -227,7 +252,7 @@ Result<std::pair<uint64_t, uint64_t>> DurableServer::WriteExtent(Span blob) {
        off += crypto::kBlockPayloadCapacity) {
     size_t n = std::min(crypto::kBlockPayloadCapacity, blob.size() - off);
     CSXA_RETURN_IF_ERROR(
-        blocks_.AppendBlock(blob.subspan(off, n), &nonce_rng_).status());
+        blocks_.AppendBlock(blob.subspan(off, n), &nonces_).status());
     ++count;
   }
   // Data durable before the manifest may name it (commit protocol step 2).
@@ -357,7 +382,7 @@ Result<Response> DurableServer::Execute(Request request) {
         CSXA_RETURN_IF_ERROR(manifest_.Append(
             EncodeCommitRecord(kCommit, request.doc_id, version,
                                extent.first, extent.second),
-            &nonce_rng_));
+            &nonces_));
         // Committed: apply to memory. A republish heals any quarantine.
         Doc doc;
         doc.rules_version = version;
@@ -372,6 +397,7 @@ Result<Response> DurableServer::Execute(Request request) {
         quarantine_.erase(request.doc_id);
         Response resp;
         resp.rules_version = version;
+        resp.commit_seq = manifest_.next_seq();
         return resp;
       }
 
@@ -394,7 +420,7 @@ Result<Response> DurableServer::Execute(Request request) {
         CSXA_RETURN_IF_ERROR(manifest_.Append(
             EncodeCommitRecord(kRulesCommit, request.doc_id, version,
                                extent.first, extent.second),
-            &nonce_rng_));
+            &nonces_));
         it->second.rules_version = version;
         it->second.rules_first = extent.first;
         it->second.rules_count = extent.second;
@@ -403,6 +429,7 @@ Result<Response> DurableServer::Execute(Request request) {
         }
         Response resp;
         resp.rules_version = version;
+        resp.commit_seq = manifest_.next_seq();
         return resp;
       }
 
@@ -415,12 +442,14 @@ Result<Response> DurableServer::Execute(Request request) {
         uint64_t version = it->second.rules_version;
         CSXA_RETURN_IF_ERROR(manifest_.Append(
             EncodeCommitRecord(kRemove, request.doc_id, version, 0, 0),
-            &nonce_rng_));
+            &nonces_));
         retired_versions_[request.doc_id] = version;
         docs_.erase(it);
         // Removing a damaged document is a legitimate way to retire it.
         quarantine_.erase(request.doc_id);
-        return Response{};
+        Response resp;
+        resp.commit_seq = manifest_.next_seq();
+        return resp;
       }
 
       case Op::kPing: {
@@ -479,7 +508,7 @@ Status DurableServer::Close() {
   std::unique_lock lock(mu_);
   if (closed_) return Status::OK();
   CSXA_RETURN_IF_ERROR(manifest_.Append(
-      EncodeCommitRecord(kClean, std::string(), 0, 0, 0), &nonce_rng_));
+      EncodeCommitRecord(kClean, std::string(), 0, 0, 0), &nonces_));
   closed_ = true;
   return Status::OK();
 }

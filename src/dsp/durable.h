@@ -25,7 +25,13 @@
 /// A crash before step 3 leaves orphaned tail blocks that no manifest
 /// record names; recovery truncates them and the store reopens in exactly
 /// the pre-op state. A crash after step 3 is simply the post-op state.
-/// There is no window in which a record names blocks that are not durable.
+/// There is no window in which a record names blocks that are not durable:
+/// creating a segment file (or the MANIFEST) also fsyncs its directory, so
+/// the dirent cannot be lost after a record referencing the segment
+/// commits. Nonces are structurally unique — `epoch || counter`, with the
+/// epoch drawn from the Env's entropy source at every open — so a crash
+/// that rewinds block indices never reuses a CTR keystream (see
+/// crypto/blockseal.h).
 ///
 /// ## Recovery state machine (on Open)
 ///
@@ -70,7 +76,6 @@
 #include <vector>
 
 #include "common/bytes.h"
-#include "common/random.h"
 #include "common/status.h"
 #include "crypto/container.h"
 #include "crypto/keys.h"
@@ -92,9 +97,13 @@ struct DurableOptions {
   Env* env = nullptr;
   /// Data segment size; rounded down to whole 4 KB blocks.
   size_t segment_bytes = 4 << 20;
-  /// Seed for the nonce stream (mixed with the manifest position on open
-  /// so re-opened stores do not replay nonces).
-  uint64_t nonce_seed = 0x5eedb10c;
+  /// Rollback anchor: the publisher's record of how many manifest records
+  /// the store had committed (the `commit_seq` of its last mutation
+  /// response). When non-zero, Open fails with kIntegrityError if fewer
+  /// valid records survive the scan — catching a hostile volume that
+  /// rolled back the last committed mutation disguised as a crash's torn
+  /// tail. 0 disables the check.
+  uint64_t expected_manifest_records = 0;
 };
 
 /// \brief What recovery found and did while opening the store.
@@ -103,6 +112,12 @@ struct RecoveryReport {
   uint64_t manifest_records = 0;  ///< valid records replayed
   uint64_t torn_tail_records = 0;  ///< manifest frames dropped as torn
   uint64_t torn_tail_bytes = 0;    ///< manifest + data tail bytes dropped
+  /// A whole trailing manifest frame failed authentication and was
+  /// dropped. A crash mid-append leaves this — but so does an attacker
+  /// flipping one bit of the last committed record to silently roll back
+  /// exactly one mutation. Publishers holding a `commit_seq` commitment
+  /// should verify it (or open with expected_manifest_records set).
+  bool rollback_suspected = false;
   uint64_t orphaned_blocks_gced = 0;  ///< uncommitted data blocks truncated
   uint64_t blocks_verified = 0;  ///< blocks authenticated during eager verify
   uint64_t documents = 0;        ///< live documents after replay
@@ -172,7 +187,7 @@ class DurableServer : public Service {
   mutable std::shared_mutex mu_;
   BlockLog blocks_;
   ManifestLog manifest_;
-  Rng nonce_rng_{0};
+  crypto::NonceSequence nonces_;
   std::map<std::string, Doc> docs_;
   std::map<std::string, uint64_t> retired_versions_;
   /// Damage found by verification, keyed by doc_id; reads of these ids

@@ -87,6 +87,14 @@ struct Response {
   uint64_t rules_version = 0;  ///< kOpenDocument, kUpdateRules
   std::vector<soe::ChunkData> chunks;  ///< kGetChunks, span order
   Bytes container;                     ///< kGetContainer
+  /// kPublish/kUpdateRules/kRemove on a durable backend: the total count
+  /// of committed manifest records after this mutation — a *commitment*
+  /// the publisher can retain and later feed back as
+  /// DurableOptions::expected_manifest_records, making a storage volume
+  /// that rolls the log back (even by a single record disguised as a
+  /// torn crash tail) detectable at the next open. 0 from non-durable
+  /// backends.
+  uint64_t commit_seq = 0;
   /// Modeled payload size of this response (server load accounting).
   uint64_t wire_bytes = 0;
 };

@@ -89,7 +89,6 @@ LoadReport RunLoad(const LoadOptions& options) {
         Rng key_rng(opt.seed * 63 + r * 17 + i);
         dur.key = crypto::SymmetricKey::Generate(&key_rng);
         dur.env = envs.back().get();
-        dur.nonce_seed = opt.seed * 311 + r * 31 + i;
         stores.push_back(std::move(dsp::DurableServer::Open(dur)).value());
       } else {
         stores.push_back(std::make_unique<dsp::DspServer>());

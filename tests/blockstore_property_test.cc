@@ -12,7 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,7 +51,8 @@ TEST(BlockSealPropertyTest, RandomPayloadsRoundTripExactly) {
     const uint64_t index = rng.Uniform(1u << 20);
     Bytes payload = RandomPayload(&rng, crypto::kBlockPayloadCapacity);
 
-    Bytes sealed = crypto::SealBlock(key, store_id, index, payload, &rng);
+    crypto::NonceSequence nonces(rng.Next());
+    Bytes sealed = crypto::SealBlock(key, store_id, index, payload, &nonces);
     ASSERT_EQ(sealed.size(), crypto::kSealedBlockSize);
     auto opened = crypto::OpenBlock(key, store_id, index, sealed);
     ASSERT_TRUE(opened.ok()) << opened.status().ToString();
@@ -64,7 +67,8 @@ TEST(BlockSealPropertyTest, AnySingleBitFlipIsDetected) {
     Rng rng(seed);
     auto key = crypto::SymmetricKey::Generate(&rng);
     Bytes payload = RandomPayload(&rng, crypto::kBlockPayloadCapacity);
-    Bytes sealed = crypto::SealBlock(key, "s", 7, payload, &rng);
+    crypto::NonceSequence nonces(rng.Next());
+    Bytes sealed = crypto::SealBlock(key, "s", 7, payload, &nonces);
 
     // Flip one random bit anywhere: nonce, tag or ciphertext.
     Bytes damaged = sealed;
@@ -84,7 +88,8 @@ TEST(BlockSealPropertyTest, RelocationForeignStoreAndTruncationAreDetected) {
     auto key = crypto::SymmetricKey::Generate(&rng);
     Bytes payload = RandomPayload(&rng, crypto::kBlockPayloadCapacity);
     const uint64_t index = rng.Uniform(1000);
-    Bytes sealed = crypto::SealBlock(key, "here", index, payload, &rng);
+    crypto::NonceSequence nonces(rng.Next());
+    Bytes sealed = crypto::SealBlock(key, "here", index, payload, &nonces);
 
     // Untouched bytes presented at the wrong index: relocation.
     EXPECT_EQ(crypto::OpenBlock(key, "here", index + 1, sealed)
@@ -117,13 +122,14 @@ struct LogRig {
   explicit LogRig(uint64_t seed, size_t blocks) {
     Rng rng(seed);
     key = crypto::SymmetricKey::Generate(&rng);
+    crypto::NonceSequence nonces(rng.Next());
     // Small segments so the run spans several files.
     auto log = std::move(dsp::BlockLog::Open(&env, "d", key, "s",
                                              4 * crypto::kSealedBlockSize))
                    .value();
     for (size_t i = 0; i < blocks; ++i) {
       payloads.push_back(RandomPayload(&rng, crypto::kBlockPayloadCapacity));
-      auto index = log.AppendBlock(payloads.back(), &rng);
+      auto index = log.AppendBlock(payloads.back(), &nonces);
       EXPECT_TRUE(index.ok());
       EXPECT_EQ(index.value(), i);
     }
@@ -217,8 +223,9 @@ TEST(BlockLogPropertyTest, BitFlipsSwapsTransplantsAndTruncationDetected) {
                                  4 * crypto::kSealedBlockSize))
                        .value();
       Rng rng_b(seed + 201);
+      crypto::NonceSequence nonces_b(rng_b.Next());
       ASSERT_TRUE(
-          log_b.AppendBlock(RandomPayload(&rng_b, 100), &rng_b).ok());
+          log_b.AppendBlock(RandomPayload(&rng_b, 100), &nonces_b).ok());
       ASSERT_TRUE(log_b.Sync().ok());
       auto from = std::move(env_b.Open("d/data-000000.seg", false)).value();
       Bytes foreign =
@@ -269,6 +276,7 @@ TEST(ManifestLogPropertyTest, RecordsRoundTripAndTornTailsTruncate) {
     Rng rng(seed);
     dsp::MemEnv env;
     auto key = crypto::SymmetricKey::Generate(&rng);
+    crypto::NonceSequence nonces(rng.Next());
     std::vector<Bytes> records;
     {
       dsp::ManifestScan scan;
@@ -277,7 +285,7 @@ TEST(ManifestLogPropertyTest, RecordsRoundTripAndTornTailsTruncate) {
                      .value();
       for (int i = 0; i < 5; ++i) {
         records.push_back(RandomPayload(&rng, dsp::kManifestPayloadCapacity));
-        ASSERT_TRUE(log.Append(records.back(), &rng).ok());
+        ASSERT_TRUE(log.Append(records.back(), &nonces).ok());
       }
     }
     // Tear the tail: a partial final frame plus bit-damage in the last
@@ -315,6 +323,171 @@ TEST(ManifestLogPropertyTest, RecordsRoundTripAndTornTailsTruncate) {
     ASSERT_FALSE(tampered.ok());
     EXPECT_EQ(tampered.status().code(), StatusCode::kIntegrityError);
   }
+}
+
+// --- Non-crash I/O errors (transient ENOSPC-style partial appends) -----------
+
+// Env decorator whose files fail ONE scripted Append after persisting a
+// prefix of it — the disk-full/partial-write case where the process stays
+// alive — unlike FaultyEnv, whose env is dead after a fault.
+class PartialAppendFile : public dsp::File {
+ public:
+  PartialAppendFile(std::unique_ptr<dsp::File> base, size_t* fail_after,
+                    size_t* partial)
+      : base_(std::move(base)), fail_after_(fail_after), partial_(partial) {}
+
+  Result<Bytes> ReadAt(uint64_t offset, size_t n) const override {
+    return base_->ReadAt(offset, n);
+  }
+  Status Append(Span data) override {
+    if (*fail_after_ > 0 && --*fail_after_ == 0) {
+      size_t keep = std::min(*partial_, data.size());
+      if (keep > 0) {
+        EXPECT_TRUE(base_->Append(data.subspan(0, keep)).ok());
+      }
+      return Status::IoError("disk full (partial append persisted)");
+    }
+    return base_->Append(data);
+  }
+  Status WriteAt(uint64_t offset, Span data) override {
+    return base_->WriteAt(offset, data);
+  }
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Status Sync() override { return base_->Sync(); }
+  Result<uint64_t> Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<dsp::File> base_;
+  size_t* fail_after_;
+  size_t* partial_;
+};
+
+class PartialAppendEnv : public dsp::Env {
+ public:
+  explicit PartialAppendEnv(dsp::Env* base) : base_(base) {}
+
+  Result<std::unique_ptr<dsp::File>> Open(const std::string& path,
+                                          bool create) override {
+    auto opened = base_->Open(path, create);
+    if (!opened.ok()) return opened.status();
+    return std::unique_ptr<dsp::File>(new PartialAppendFile(
+        std::move(opened).value(), &fail_after_appends, &partial_bytes));
+  }
+  bool Exists(const std::string& path) const override {
+    return base_->Exists(path);
+  }
+  Status Remove(const std::string& path) override {
+    return base_->Remove(path);
+  }
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+  Status SyncDir(const std::string& path) override {
+    return base_->SyncDir(path);
+  }
+  Result<Bytes> RandomBytes(size_t n) override {
+    return base_->RandomBytes(n);
+  }
+
+  /// The N-th Append from now (1 = next) fails, persisting this prefix.
+  size_t fail_after_appends = 0;
+  size_t partial_bytes = 0;
+
+ private:
+  dsp::Env* base_;
+};
+
+TEST(BlockLogIoErrorTest, FailedAppendRealignsAndTheLogStaysUsable) {
+  Rng rng(97);
+  dsp::MemEnv mem;
+  PartialAppendEnv env(&mem);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  crypto::NonceSequence nonces(rng.Next());
+  auto log = std::move(dsp::BlockLog::Open(&env, "d", key, "s",
+                                           4 * crypto::kSealedBlockSize))
+                 .value();
+  Bytes first = RandomPayload(&rng, 500);
+  ASSERT_TRUE(log.AppendBlock(first, &nonces).ok());
+
+  // One append dies midway, leaving 1000 bytes of a torn block behind.
+  env.fail_after_appends = 1;
+  env.partial_bytes = 1000;
+  EXPECT_FALSE(log.AppendBlock(RandomPayload(&rng, 600), &nonces).ok());
+  EXPECT_EQ(log.block_count(), 1u);
+
+  // The partial tail was truncated away, so the next append lands on the
+  // frame boundary and EVERY block still authenticates.
+  Bytes second = RandomPayload(&rng, 700);
+  auto index = log.AppendBlock(second, &nonces);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value(), 1u);
+  ASSERT_TRUE(log.Sync().ok());
+  auto got0 = log.ReadBlock(0);
+  auto got1 = log.ReadBlock(1);
+  ASSERT_TRUE(got0.ok() && got1.ok());
+  EXPECT_EQ(got0.value(), first);
+  EXPECT_EQ(got1.value(), second);
+}
+
+TEST(ManifestLogIoErrorTest, FailedAppendRealignsAndTheLogStaysUsable) {
+  Rng rng(98);
+  dsp::MemEnv mem;
+  PartialAppendEnv env(&mem);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  crypto::NonceSequence nonces(rng.Next());
+  std::vector<Bytes> records;
+  {
+    auto log = std::move(
+                   dsp::ManifestLog::Open(&env, "MANIFEST", key, "s", nullptr))
+                   .value();
+    records.push_back(RandomPayload(&rng, dsp::kManifestPayloadCapacity));
+    ASSERT_TRUE(log.Append(records.back(), &nonces).ok());
+
+    env.fail_after_appends = 1;
+    env.partial_bytes = 100;
+    EXPECT_FALSE(
+        log.Append(RandomPayload(&rng, dsp::kManifestPayloadCapacity),
+                   &nonces)
+            .ok());
+    EXPECT_EQ(log.next_seq(), 1u);
+
+    // Realigned: the failed record left no misaligned tail behind, and the
+    // next append commits cleanly at sequence 1.
+    records.push_back(RandomPayload(&rng, dsp::kManifestPayloadCapacity));
+    ASSERT_TRUE(log.Append(records.back(), &nonces).ok());
+    EXPECT_EQ(log.next_seq(), 2u);
+  }
+  // Everything the log reported committed is there and authenticates; the
+  // failed middle append left no trace.
+  dsp::ManifestScan scan;
+  auto log = std::move(
+                 dsp::ManifestLog::Open(&env, "MANIFEST", key, "s", &scan))
+                 .value();
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.torn_tail_records, 0u);
+  EXPECT_EQ(scan.records[0], records[0]);
+  EXPECT_EQ(scan.records[1], records[1]);
+}
+
+// --- Nonce discipline --------------------------------------------------------
+
+TEST(NonceSequenceTest, EmitsUniqueNoncesAndDistinctEpochsDiverge) {
+  crypto::NonceSequence a(1);
+  crypto::NonceSequence b(2);
+  auto a0 = a.Next();
+  auto a1 = a.Next();
+  auto b0 = b.Next();
+  EXPECT_NE(a0, a1);  // counter advances within an epoch
+  EXPECT_NE(a0, b0);  // different epochs never collide, same counter or not
+}
+
+TEST(MemEnvEntropyTest, SuccessiveDrawsDifferAcrossSimulatedReboots) {
+  // The entropy stream lives in the env (the machine), not the process:
+  // a store reopened after a simulated crash draws a fresh epoch.
+  dsp::MemEnv env;
+  Bytes first = std::move(env.RandomBytes(8)).value();
+  Bytes second = std::move(env.RandomBytes(8)).value();
+  EXPECT_NE(first, second);
 }
 
 }  // namespace

@@ -370,11 +370,92 @@ TEST(DurableCorruptionTest, TrailingManifestDamageIsATornTail) {
   dsp::FaultyEnv faulty(&mem, plan);
   auto server = MustOpen(&faulty);
   EXPECT_EQ(server->recovery().torn_tail_records, 1u);
+  // ...but NOT silently: a whole trailing frame failing authentication is
+  // also what an attacker rolling back the last committed record leaves.
+  EXPECT_TRUE(server->recovery().rollback_suspected);
   EXPECT_GT(server->recovery().orphaned_blocks_gced, 0u);  // b's blocks
   EXPECT_EQ(server->GetContainer("b").status().code(), StatusCode::kNotFound);
   auto got_a = server->GetContainer("a");
   ASSERT_TRUE(got_a.ok());
   EXPECT_EQ(got_a.value(), container_a);
+}
+
+TEST(DurableCorruptionTest, CommitSeqAnchorDetectsOneRecordRollback) {
+  dsp::MemEnv mem;
+  uint64_t commit_seq = 0;
+  {
+    auto server = MustOpen(&mem);
+    ASSERT_TRUE(server->Publish("a", MakeContainer(65), RulesBlobFor(1)).ok());
+    dsp::Request req;
+    req.op = dsp::Op::kPublish;
+    req.doc_id = "b";
+    req.container = MakeContainer(66);
+    req.sealed_rules = RulesBlobFor(1);
+    auto last = server->Execute(std::move(req));
+    ASSERT_TRUE(last.ok());
+    // The durable backend returns its manifest length as a commitment.
+    commit_seq = last.value().commit_seq;
+    ASSERT_GT(commit_seq, 0u);
+  }
+  // Honest volume: opening with the anchor succeeds (later opens may have
+  // MORE records — the anchor is a floor, not an exact count).
+  {
+    dsp::DurableOptions options = OptionsOn(&mem, "t");
+    options.expected_manifest_records = commit_seq;
+    ASSERT_TRUE(dsp::DurableServer::Open(options).ok());
+  }
+  // Hostile volume: one flipped bit in the LAST committed record reads as
+  // a torn crash tail to an unanchored open — but against the publisher's
+  // commitment the rollback is detected and the open refuses.
+  dsp::DiskFaultPlan plan;
+  plan.bit_flips.push_back({"MANIFEST", dsp::kManifestRecordSize + 60, 0x01});
+  dsp::FaultyEnv faulty(&mem, plan);
+  dsp::DurableOptions options = OptionsOn(&faulty, "t");
+  options.expected_manifest_records = commit_seq;
+  auto opened = dsp::DurableServer::Open(options);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kIntegrityError);
+}
+
+TEST(DurableCrashSafetyTest, RecoveredRetryNeverReusesACtrNonce) {
+  // The two-time-pad hazard: crash after the data blocks of a publish are
+  // durable but before its commit record. Recovery GCs the orphans and the
+  // retried publish reuses the SAME block indices for different plaintext
+  // — so the sealed bytes (nonce prologue included) must differ from what
+  // an attacker imaged off the volume before the crash.
+  CrashRig rig;
+  const std::string segment = "store/data-000000.seg";
+  // Arm the crash on the manifest commit append: data blocks are already
+  // fsynced when it fires. Write points of a publish: N block appends,
+  // 1 data sync, then the manifest append dies.
+  Bytes container_c = MakeContainer(15, 2500);
+  auto probe = [&](CrashRig& r) {
+    return r.server->Publish("c", container_c, RulesBlobFor(1));
+  };
+  const uint64_t write_points = WritePointsOf(probe);
+  rig.faulty.ArmCrash(write_points - 2);  // the manifest append
+  EXPECT_FALSE(probe(rig).ok());
+
+  // Image the orphaned tail before recovery truncates it.
+  Bytes pre_image = std::move(rig.mem.Snapshot(segment)).value();
+  dsp::RecoveryReport report = rig.Reboot();
+  const uint64_t orphan_count = report.orphaned_blocks_gced;
+  ASSERT_GT(orphan_count, 0u);
+  const uint64_t first_index =
+      (pre_image.size() / crypto::kSealedBlockSize) - orphan_count;
+
+  // Retry lands on the same rewound block indices...
+  ASSERT_TRUE(probe(rig).ok());
+  Bytes post_image = std::move(rig.mem.Snapshot(segment)).value();
+  for (uint64_t i = 0; i < orphan_count; ++i) {
+    const size_t off = (first_index + i) * crypto::kSealedBlockSize;
+    Span pre_nonce(pre_image.data() + off, crypto::kBlockNonceSize);
+    Span post_nonce(post_image.data() + off, crypto::kBlockNonceSize);
+    // ...under a different nonce epoch: no (key, nonce, index) reuse, no
+    // two-time pad for whoever holds both disk images.
+    EXPECT_FALSE(pre_nonce == post_nonce)
+        << "nonce reused at rewound block index " << (first_index + i);
+  }
 }
 
 TEST(DurableCorruptionTest, TruncatedSegmentQuarantines) {
