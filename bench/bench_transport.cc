@@ -9,12 +9,15 @@
 // economics across repeated sessions.
 
 #include "bench/bench_util.h"
+#include "core/rule.h"
 #include "dsp/caching.h"
 #include "dsp/sharded.h"
 #include "dsp/store.h"
 #include "pki/registry.h"
 #include "proxy/publisher.h"
 #include "proxy/terminal.h"
+#include "skipindex/codec.h"
+#include "soe/prefetch.h"
 
 using namespace csxa;
 using namespace csxa::bench;
@@ -53,18 +56,52 @@ int main() {
   for (const Workload& w : workloads) {
     std::printf("--- %s (%s) ---\n", w.label,
                 w.use_skip ? "skip on" : "skip off");
-    Table table({"prefetch", "DSP round trips", "rtt s", "transfer s",
+    Table table({"schedule", "DSP round trips", "rtt s", "transfer s",
                  "crypto s", "total s", "speedup"});
     double per_chunk_total = 0;
     uint64_t per_chunk_trips = 0;
     std::string reference_view;
+    double reference_transfer = 0, reference_crypto = 0;
+    xml::DomDocument doc = Hospital(3000, 9);
+
+    auto add_row = [&](const char* row_label, const char* json_name,
+                       const proxy::QueryResult& result) {
+      const auto& card = result.card;
+      if (reference_view.empty()) {
+        per_chunk_total = card.total_seconds;
+        per_chunk_trips = card.dsp_round_trips;
+        reference_view = result.xml;
+        reference_transfer = card.transfer_seconds;
+        reference_crypto = card.crypto_seconds;
+      } else {
+        // Every schedule must deliver the identical view at identical
+        // card transfer/crypto cost — only round trips may differ.
+        CSXA_CHECK(result.xml == reference_view);
+        CSXA_CHECK(card.transfer_seconds == reference_transfer);
+        CSXA_CHECK(card.crypto_seconds == reference_crypto);
+      }
+      table.AddRow({row_label,
+                    Fmt("%llu", (unsigned long long)card.dsp_round_trips),
+                    Fmt("%.2f", card.round_trip_seconds),
+                    Fmt("%.2f", card.transfer_seconds),
+                    Fmt("%.3f", card.crypto_seconds),
+                    Fmt("%.2f", card.total_seconds),
+                    Fmt("%.2fx", per_chunk_total / card.total_seconds)});
+      JsonReport::Get().AddValue(
+          Fmt("transport/%s/round_trips/%s", w.label, json_name),
+          static_cast<double>(card.dsp_round_trips));
+      JsonReport::Get().Add(Fmt("transport/%s/modeled_s/%s", w.label,
+                                json_name),
+                            card.total_seconds * 1e9);
+    };
+
     for (uint32_t window : {1u, 2u, 4u, 8u, 16u}) {
       dsp::DspServer dsp;
       pki::KeyRegistry registry;
       proxy::Publisher publisher(&dsp, &registry, 4242);
       proxy::PublishOptions popt;
       popt.chunk_size = 128;
-      CSXA_CHECK(publisher.Publish("h", Hospital(3000, 9), w.rules, popt).ok());
+      CSXA_CHECK(publisher.Publish("h", doc, w.rules, popt).ok());
       proxy::Terminal term("u", soe::CardProfile::EGate(), &dsp, &registry);
       CSXA_CHECK(term.Provision("h").ok());
       proxy::QueryOptions q;
@@ -72,41 +109,72 @@ int main() {
       q.max_prefetch = window;
       auto result = term.Query("h", q);
       CSXA_CHECK(result.ok());
-      const auto& card = result.value().card;
-      if (window == 1) {
-        per_chunk_total = card.total_seconds;
-        per_chunk_trips = card.dsp_round_trips;
-        reference_view = result.value().xml;
-      } else {
-        // The batched fetches must deliver the identical view.
-        CSXA_CHECK(result.value().xml == reference_view);
-      }
-      table.AddRow(
-          {window == 1 ? "1 (per-chunk)" : Fmt("%u", window),
-           Fmt("%llu", (unsigned long long)card.dsp_round_trips),
-           Fmt("%.2f", card.round_trip_seconds),
-           Fmt("%.2f", card.transfer_seconds),
-           Fmt("%.3f", card.crypto_seconds), Fmt("%.2f", card.total_seconds),
-           Fmt("%.2fx", per_chunk_total / card.total_seconds)});
-      const char* name = window == 1 ? "perchunk" : nullptr;
-      JsonReport::Get().AddValue(
-          Fmt("transport/%s/round_trips/%s", w.label,
-              name ? name : Fmt("w%u", window).c_str()),
-          static_cast<double>(card.dsp_round_trips));
-      JsonReport::Get().Add(
-          Fmt("transport/%s/modeled_s/%s", w.label,
-              name ? name : Fmt("w%u", window).c_str()),
-          card.total_seconds * 1e9);
+      add_row(window == 1 ? "w1 (per-chunk)" : Fmt("w%u", window).c_str(),
+              window == 1 ? "perchunk" : Fmt("w%u", window).c_str(),
+              result.value());
     }
-    table.Print();
-    std::printf("per-chunk baseline: %llu round trips\n\n",
-                (unsigned long long)per_chunk_trips);
+
+    // The fetch planner: an owner-computed plan (the skip filter's
+    // reachability pass over the plaintext encoding), then the terminal's
+    // learned plan (second identical query on the same terminal).
+    {
+      Bytes encoded =
+          skipindex::EncodeDocument(doc, skipindex::EncodeOptions{}).value();
+      core::RuleSet rules = core::RuleSet::ParseText(w.rules).value();
+      soe::FetchPlan plan =
+          soe::ComputeFetchPlan(Span(encoded), 128, rules.ForSubject("u"),
+                                nullptr, w.use_skip)
+              .value();
+
+      dsp::DspServer dsp;
+      pki::KeyRegistry registry;
+      proxy::Publisher publisher(&dsp, &registry, 4242);
+      proxy::PublishOptions popt;
+      popt.chunk_size = 128;
+      CSXA_CHECK(publisher.Publish("h", doc, w.rules, popt).ok());
+
+      proxy::Terminal owner_term("u", soe::CardProfile::EGate(), &dsp,
+                                 &registry);
+      CSXA_CHECK(owner_term.Provision("h").ok());
+      proxy::QueryOptions q;
+      q.use_skip = w.use_skip;
+      q.fetch_policy = proxy::FetchPolicy::kPlanned;
+      q.plan = &plan;
+      auto owner = owner_term.Query("h", q);
+      CSXA_CHECK(owner.ok());
+      CSXA_CHECK(owner.value().plan_miss_trips == 0);
+      add_row("planned (owner)", "planned", owner.value());
+
+      proxy::Terminal learn_term("u", soe::CardProfile::EGate(), &dsp,
+                                 &registry);
+      CSXA_CHECK(learn_term.Provision("h").ok());
+      proxy::QueryOptions lq;
+      lq.use_skip = w.use_skip;
+      lq.fetch_policy = proxy::FetchPolicy::kPlanned;  // learn on first run
+      auto probe = learn_term.Query("h", lq);
+      CSXA_CHECK(probe.ok() && probe.value().plan_learned);
+      auto learned = learn_term.Query("h", lq);
+      CSXA_CHECK(learned.ok());
+      add_row("planned (learned)", "planned_learned", learned.value());
+
+      table.Print();
+      std::printf("per-chunk baseline: %llu round trips; plan: %zu ranges, "
+                  "%llu chunks\n\n",
+                  (unsigned long long)per_chunk_trips, plan.runs.size(),
+                  (unsigned long long)plan.total_chunks());
+      JsonReport::Get().AddValue(Fmt("transport/%s/plan_ranges", w.label),
+                                 static_cast<double>(plan.runs.size()));
+    }
   }
   std::printf("expected shape: sequential runs amortize one round trip over "
               "the whole window while skip jumps collapse it, so the win "
-              "grows with the authorized-run length; transfer and crypto "
-              "columns are identical by construction (prefetched chunks the "
-              "card never reads never cross the APDU link).\n");
+              "grows with the authorized-run length; the planner removes the "
+              "guessing entirely — the whole needed chunk set arrives as one "
+              "multi-span request, so round trips collapse to open + 1 "
+              "regardless of how scattered the authorized ranges are. "
+              "Transfer and crypto columns are identical by construction "
+              "(prefetched or planned chunks the card never reads never "
+              "cross the APDU link).\n");
 
   std::printf("\n--- sharded fleet: per-shard load, 12 documents ---\n");
   {

@@ -17,21 +17,24 @@ cd build
 ctest --output-on-failure -j "$(nproc)"
 
 # The transport layer (dsp::Service protocol, sharding, caching,
-# prefetching) gates separately so a regression names itself in CI logs.
+# prefetching) gates separately so a regression names itself in CI logs,
+# as does the fetch planner (the planned-vs-windowed-vs-per-chunk
+# differential suite).
 ctest --output-on-failure -L transport
+ctest --output-on-failure -L planner
 cd ..
 
 # ThreadSanitizer pass over the serving-stack suites: the transport,
-# concurrency, fault and durable labels exercise the shared caches,
-# sharded stores, the async dispatcher, the replicated fabric (failover,
-# catch-up, retry storms) and the durable block store from many threads —
-# TSan turns latent races into failures. Separate build dir
-# (instrumentation is ABI-incompatible); benches and examples are skipped
-# to keep the instrumented build small.
+# concurrency, fault, planner and durable labels exercise the shared
+# caches, sharded stores, the async dispatcher, the replicated fabric
+# (failover, catch-up, retry storms), the multi-span planned fetch path
+# and the durable block store from many threads — TSan turns latent races
+# into failures. Separate build dir (instrumentation is ABI-incompatible);
+# benches and examples are skipped to keep the instrumented build small.
 cmake -B build-tsan -S . -DCSXA_SANITIZE=thread \
   -DCSXA_BUILD_BENCH=OFF -DCSXA_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j
-(cd build-tsan && ctest --output-on-failure -L "transport|concurrency|fault|durable")
+(cd build-tsan && ctest --output-on-failure -L "transport|concurrency|fault|durable|planner")
 
 # AddressSanitizer pass over the durable store: the block layer, crash
 # recovery and quarantine paths shuffle raw buffers, truncate files and

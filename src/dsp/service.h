@@ -159,6 +159,20 @@ class ServiceChunkProvider : public soe::ChunkProvider {
     return service_->GetChunks(doc_id_, {ChunkSpan{first, count}});
   }
 
+  /// Several runs become one multi-span kGetChunks request — the wire
+  /// capability the fetch planner exists to exploit.
+  Result<std::vector<soe::ChunkData>> FetchSpans(
+      const std::vector<skipindex::ChunkRun>& spans) override {
+    std::vector<ChunkSpan> wire;
+    wire.reserve(spans.size());
+    for (const skipindex::ChunkRun& span : spans) {
+      if (span.count == 0) continue;
+      wire.push_back(ChunkSpan{span.first, span.count});
+    }
+    if (wire.empty()) return std::vector<soe::ChunkData>{};
+    return service_->GetChunks(doc_id_, std::move(wire));
+  }
+
  private:
   Service* service_;
   std::string doc_id_;

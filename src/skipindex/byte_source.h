@@ -11,11 +11,28 @@
 /// skip index exists to harvest (§2.3).
 
 #include <cstdint>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
 
 namespace csxa::skipindex {
+
+/// \brief A half-open byte interval [begin, end) of the underlying stream.
+struct ByteRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+/// \brief A run of consecutive fixed-size chunks: [first, first + count).
+///
+/// The chunk-level counterpart of ByteRange; the container layer splits
+/// the payload into fixed-size chunks and the fetch planner speaks in
+/// these runs (see codec.h ChunkMap and soe::FetchPlan).
+struct ChunkRun {
+  uint32_t first = 0;
+  uint32_t count = 0;
+};
 
 /// \brief Abstract sequential source.
 class ByteSource {
@@ -76,6 +93,52 @@ class MemorySource : public ByteSource {
  private:
   Span data_;
   size_t pos_ = 0;
+};
+
+/// \brief Decorator recording which byte ranges are actually *read* (as
+/// opposed to skipped) from the inner source.
+///
+/// The fetch planner's probe: drive the ordinary filtered scan through
+/// one of these and the recorded ranges are exactly the bytes — and via
+/// the chunk map, exactly the chunks — that scan touches. Skips advance
+/// the cursor without recording, which is the whole point: skipped
+/// ranges never need fetching. Reads are monotone (sources are forward
+/// only), so the recorded ranges come out sorted, disjoint and merged.
+class RangeRecordingSource : public ByteSource {
+ public:
+  explicit RangeRecordingSource(ByteSource* inner) : inner_(inner) {}
+
+  Status ReadExact(uint8_t* buf, size_t n) override {
+    uint64_t at = inner_->position();
+    CSXA_RETURN_IF_ERROR(inner_->ReadExact(buf, n));
+    Record(at, n);
+    return Status::OK();
+  }
+  const uint8_t* View(size_t n) override {
+    uint64_t at = inner_->position();
+    const uint8_t* p = inner_->View(n);
+    if (p != nullptr) Record(at, n);
+    return p;
+  }
+  Status Skip(uint64_t n) override { return inner_->Skip(n); }
+  uint64_t position() const override { return inner_->position(); }
+  bool AtEnd() const override { return inner_->AtEnd(); }
+
+  /// Byte ranges read so far: ascending, disjoint, coalesced.
+  const std::vector<ByteRange>& ranges() const { return ranges_; }
+
+ private:
+  void Record(uint64_t at, uint64_t n) {
+    if (n == 0) return;
+    if (!ranges_.empty() && at <= ranges_.back().end) {
+      if (at + n > ranges_.back().end) ranges_.back().end = at + n;
+    } else {
+      ranges_.push_back(ByteRange{at, at + n});
+    }
+  }
+
+  ByteSource* inner_;
+  std::vector<ByteRange> ranges_;
 };
 
 }  // namespace csxa::skipindex

@@ -1,5 +1,7 @@
 #include "skipindex/filter.h"
 
+#include "skipindex/byte_source.h"
+
 namespace csxa::skipindex {
 
 Status RunFiltered(DocumentDecoder* decoder,
@@ -41,6 +43,32 @@ Status RunFiltered(DocumentDecoder* decoder,
     stats->bytes_total = 0;  // filled by callers that know the source size
   }
   return Status::OK();
+}
+
+namespace {
+// The planning probe evaluates reachability only; delivered-view events
+// go nowhere.
+class NullSink : public xml::EventSink {
+ public:
+  Status OnEvent(const xml::Event&) override { return Status::OK(); }
+  Status OnEventView(const xml::EventView&) override { return Status::OK(); }
+};
+}  // namespace
+
+Result<std::vector<ByteRange>> CollectTouchedRanges(
+    Span encoded, const std::vector<core::AccessRule>& rules,
+    const xpath::PathExpr* query, bool enable_skip) {
+  MemorySource memory(encoded);
+  RangeRecordingSource recorder(&memory);
+  CSXA_ASSIGN_OR_RETURN(auto decoder, DocumentDecoder::Open(&recorder));
+  NullSink sink;
+  CSXA_ASSIGN_OR_RETURN(auto evaluator,
+                        core::StreamingEvaluator::Create(rules, query, &sink));
+  FilterOptions options;
+  options.enable_skip = enable_skip;
+  CSXA_RETURN_IF_ERROR(
+      RunFiltered(decoder.get(), evaluator.get(), options, nullptr));
+  return recorder.ranges();
 }
 
 }  // namespace csxa::skipindex

@@ -16,6 +16,7 @@
 /// batching happens terminal-side in soe::PrefetchingProvider, which
 /// absorbs per-chunk card requests into windowed server fetches.
 
+#include <iterator>
 #include <memory>
 #include <vector>
 
@@ -69,6 +70,19 @@ class ChunkProvider {
     return std::move(chunks[0]);
   }
 
+  /// Fetches several (possibly discontiguous) chunk runs in ONE round
+  /// trip, returned concatenated in run order. This is what the fetch
+  /// planner uses: a whole query's worth of ranges for one trip's
+  /// latency. Backends that speak a multi-span protocol (dsp::Service
+  /// kGetChunks) override FetchSpans to send one request; the default
+  /// gathers the runs from FetchChunks, which is honest for providers
+  /// already serving from local memory.
+  Result<std::vector<ChunkData>> GetSpans(
+      const std::vector<skipindex::ChunkRun>& spans) {
+    ++round_trips_;
+    return FetchSpans(spans);
+  }
+
   /// Total wire size of the full stream; used by push mode, where the
   /// broadcast reaches the card whether it decrypts it or not. 0 means
   /// unknown (pull-mode providers need not implement it).
@@ -82,6 +96,22 @@ class ChunkProvider {
   /// Backend fetch of the batch [first, first+count).
   virtual Result<std::vector<ChunkData>> FetchChunks(uint32_t first,
                                                      uint32_t count) = 0;
+
+  /// Backend fetch of several runs as one exchange. Default: gather each
+  /// run via FetchChunks (no extra round trips are counted — GetSpans
+  /// already charged the one trip).
+  virtual Result<std::vector<ChunkData>> FetchSpans(
+      const std::vector<skipindex::ChunkRun>& spans) {
+    std::vector<ChunkData> out;
+    for (const skipindex::ChunkRun& span : spans) {
+      if (span.count == 0) continue;
+      CSXA_ASSIGN_OR_RETURN(std::vector<ChunkData> part,
+                            FetchChunks(span.first, span.count));
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return out;
+  }
 
  private:
   uint64_t round_trips_ = 0;

@@ -1,6 +1,10 @@
 #include "soe/prefetch.h"
 
 #include <algorithm>
+#include <limits>
+
+#include "skipindex/codec.h"
+#include "skipindex/filter.h"
 
 namespace csxa::soe {
 
@@ -42,6 +46,172 @@ Result<std::vector<ChunkData>> PrefetchingProvider::FetchChunks(
   next_expected_ = first + n;
 
   std::vector<ChunkData> out(buf_.begin(), buf_.begin() + count);
+  return out;
+}
+
+// --- FetchPlan -------------------------------------------------------------
+
+bool FetchPlan::Covers(uint32_t chunk) const {
+  // First run starting after `chunk`; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      runs.begin(), runs.end(), chunk,
+      [](uint32_t c, const skipindex::ChunkRun& r) { return c < r.first; });
+  if (it == runs.begin()) return false;
+  --it;
+  return chunk - it->first < it->count;
+}
+
+void FetchPlan::Normalize() {
+  std::sort(runs.begin(), runs.end(),
+            [](const skipindex::ChunkRun& a, const skipindex::ChunkRun& b) {
+              return a.first < b.first || (a.first == b.first && a.count < b.count);
+            });
+  std::vector<skipindex::ChunkRun> merged;
+  for (const skipindex::ChunkRun& r : runs) {
+    if (r.count == 0) continue;
+    if (!merged.empty() && r.first <= merged.back().first + merged.back().count) {
+      uint32_t end = std::max(merged.back().first + merged.back().count,
+                              r.first + r.count);
+      merged.back().count = end - merged.back().first;
+    } else {
+      merged.push_back(r);
+    }
+  }
+  runs = std::move(merged);
+}
+
+FetchPlan FetchPlan::FromChunkSequence(const std::vector<uint32_t>& sequence) {
+  FetchPlan plan;
+  plan.runs.reserve(sequence.size());
+  for (uint32_t c : sequence) plan.runs.push_back(skipindex::ChunkRun{c, 1});
+  plan.Normalize();
+  return plan;
+}
+
+FetchPlan FetchPlan::FromRanges(const std::vector<skipindex::ByteRange>& ranges,
+                                uint32_t chunk_size, uint32_t chunk_count) {
+  FetchPlan plan;
+  plan.runs = skipindex::ChunkMap(chunk_size, chunk_count).Runs(ranges);
+  return plan;
+}
+
+Result<FetchPlan> ComputeFetchPlan(Span encoded_payload, uint32_t chunk_size,
+                                   const std::vector<core::AccessRule>& rules,
+                                   const xpath::PathExpr* query,
+                                   bool use_skip) {
+  if (chunk_size == 0) {
+    return Status::InvalidArgument("fetch plan needs a non-zero chunk size");
+  }
+  CSXA_ASSIGN_OR_RETURN(
+      std::vector<skipindex::ByteRange> ranges,
+      skipindex::CollectTouchedRanges(encoded_payload, rules, query, use_skip));
+  uint64_t payload = encoded_payload.size();
+  uint32_t chunk_count =
+      static_cast<uint32_t>((payload + chunk_size - 1) / chunk_size);
+  return FetchPlan::FromRanges(ranges, chunk_size, chunk_count);
+}
+
+// --- PlannedProvider -------------------------------------------------------
+
+PlannedProvider::PlannedProvider(ChunkProvider* inner, uint32_t chunk_count,
+                                 FetchPlan plan, PlannedOptions options)
+    : inner_(inner), plan_(std::move(plan)), options_(options) {
+  plan_.Normalize();
+  // Clamp to the container geometry: a plan must never make the backend
+  // serve chunks that do not exist.
+  std::vector<skipindex::ChunkRun> clamped;
+  for (const skipindex::ChunkRun& r : plan_.runs) {
+    if (r.first >= chunk_count) continue;
+    uint32_t count = std::min<uint64_t>(r.count, chunk_count - r.first);
+    if (count > 0) clamped.push_back(skipindex::ChunkRun{r.first, count});
+  }
+  plan_.runs = std::move(clamped);
+
+  // Partition the runs into trip groups of <= max_chunks_per_trip chunks
+  // (one group — one trip — when unlimited). A single run larger than the
+  // cap still travels whole: splitting it would not reduce peak buffer
+  // use below the card's own consumption order anyway.
+  uint64_t cap = options_.max_chunks_per_trip == 0
+                     ? std::numeric_limits<uint64_t>::max()
+                     : options_.max_chunks_per_trip;
+  uint64_t in_group = 0;
+  for (const skipindex::ChunkRun& r : plan_.runs) {
+    if (groups_.empty() || (in_group > 0 && in_group + r.count > cap)) {
+      groups_.emplace_back();
+      in_group = 0;
+    }
+    groups_.back().push_back(r);
+    group_of_run_.push_back(groups_.size() - 1);
+    in_group += r.count;
+  }
+  group_fetched_.assign(groups_.size(), false);
+}
+
+size_t PlannedProvider::RunOf(uint32_t chunk) const {
+  auto it = std::upper_bound(
+      plan_.runs.begin(), plan_.runs.end(), chunk,
+      [](uint32_t c, const skipindex::ChunkRun& r) { return c < r.first; });
+  if (it == plan_.runs.begin()) return static_cast<size_t>(-1);
+  --it;
+  if (chunk - it->first >= it->count) return static_cast<size_t>(-1);
+  return static_cast<size_t>(it - plan_.runs.begin());
+}
+
+void PlannedProvider::EnsureGroup(size_t g) {
+  if (group_fetched_[g]) return;
+  group_fetched_[g] = true;
+  uint64_t expect = 0;
+  for (const skipindex::ChunkRun& r : groups_[g]) expect += r.count;
+  Result<std::vector<ChunkData>> fetched = inner_->GetSpans(groups_[g]);
+  if (!fetched.ok() || fetched.value().size() != expect) {
+    // Advisory contract: a failed or short planned batch leaves the
+    // buffer unpopulated and the request falls through to the inner
+    // provider, which surfaces any real backend error on its own trip.
+    ++planned_trips_;
+    return;
+  }
+  ++planned_trips_;
+  chunks_fetched_ += fetched.value().size();
+  size_t at = 0;
+  for (const skipindex::ChunkRun& r : groups_[g]) {
+    for (uint32_t i = 0; i < r.count; ++i) {
+      buf_[r.first + i] = std::move(fetched.value()[at++]);
+    }
+  }
+}
+
+Result<std::vector<ChunkData>> PlannedProvider::FetchChunks(uint32_t first,
+                                                            uint32_t count) {
+  if (count == 0) return std::vector<ChunkData>{};
+
+  // Pull in every planned-but-unfetched group the request touches, then
+  // serve from the buffer if the whole request is covered.
+  bool covered = true;
+  for (uint32_t c = first; c < first + count; ++c) {
+    if (buf_.count(c) > 0) continue;
+    size_t run = RunOf(c);
+    if (run == static_cast<size_t>(-1)) {
+      covered = false;
+      continue;
+    }
+    EnsureGroup(group_of_run_[run]);
+    if (buf_.count(c) == 0) covered = false;
+  }
+  if (!covered) {
+    // Conservative fallback: the plan missed (or the planned batch
+    // failed) — the inner provider serves the request exactly as an
+    // unplanned run would, on its own round trip.
+    ++plan_misses_;
+    return inner_->GetChunks(first, count);
+  }
+  ++plan_hits_;
+  std::vector<ChunkData> out;
+  out.reserve(count);
+  for (uint32_t c = first; c < first + count; ++c) {
+    auto it = buf_.find(c);
+    out.push_back(std::move(it->second));
+    buf_.erase(it);
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -251,6 +252,7 @@ LoadReport RunLoad(const LoadOptions& options) {
   // --- The run: N concurrent terminal sessions ---------------------------
   struct SessionOutcome {
     uint64_t queries = 0, updates = 0, publishes = 0, failures = 0;
+    uint64_t plans_learned = 0, plan_trips = 0, plan_miss_trips = 0;
     std::vector<double> latencies_sec;
   };
   std::vector<SessionOutcome> outcomes(opt.sessions);
@@ -261,12 +263,21 @@ LoadReport RunLoad(const LoadOptions& options) {
     OwnedDoc& own = owned[k];
     const double write_latency = opt.card.round_trip_latency_sec;
 
+    // Terminals persist for the whole session, one per card holder the
+    // session impersonates: the plan cache (and under kPlanned, the
+    // learn-once-ride-many payoff) lives inside the Terminal, so repeated
+    // identical queries must hit the same instance.
+    std::map<std::string, proxy::Terminal> terminals;
+
     auto run_query = [&](const DocInfo& doc) {
       const Scenario& scn = scenarios[doc.scenario];
       const std::string& subject =
           doc.subjects[rng.Uniform(doc.subjects.size())];
       const auto& q = scn.queries[rng.Uniform(scn.queries.size())];
-      proxy::Terminal terminal(subject, opt.card, &retrying, &registry);
+      proxy::Terminal& terminal =
+          terminals
+              .try_emplace(subject, subject, opt.card, &retrying, &registry)
+              .first->second;
       if (!terminal.Provision(doc.doc_id).ok()) {
         ++out.failures;
         return;
@@ -274,12 +285,16 @@ LoadReport RunLoad(const LoadOptions& options) {
       proxy::QueryOptions qopt;
       qopt.query = q.second;
       qopt.max_prefetch = opt.max_prefetch;
+      qopt.fetch_policy = opt.fetch_policy;
       auto result = terminal.Query(doc.doc_id, qopt);
       ++out.queries;
       if (!result.ok()) {
         ++out.failures;
         return;
       }
+      if (result.value().plan_learned) ++out.plans_learned;
+      out.plan_trips += result.value().plan_trips;
+      out.plan_miss_trips += result.value().plan_miss_trips;
       out.latencies_sec.push_back(result.value().card.total_seconds);
       advance_modeled_clock(result.value().card.total_seconds);
     };
@@ -359,6 +374,9 @@ LoadReport RunLoad(const LoadOptions& options) {
     report.updates += out.updates;
     report.publishes += out.publishes;
     report.failures += out.failures;
+    report.plans_learned += out.plans_learned;
+    report.plan_trips += out.plan_trips;
+    report.plan_miss_trips += out.plan_miss_trips;
     latencies.insert(latencies.end(), out.latencies_sec.begin(),
                      out.latencies_sec.end());
   }

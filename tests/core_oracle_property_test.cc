@@ -5,14 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <set>
 #include <string>
 
 #include "common/random.h"
 #include "core/evaluator.h"
 #include "core/ref_evaluator.h"
+#include "crypto/container.h"
 #include "skipindex/byte_source.h"
 #include "skipindex/codec.h"
 #include "skipindex/filter.h"
+#include "soe/chunk_source.h"
+#include "soe/prefetch.h"
 #include "workload/rulegen.h"
 #include "xml/generator.h"
 #include "xml/writer.h"
@@ -340,6 +344,138 @@ INSTANTIATE_TEST_SUITE_P(
       return "r" + std::to_string(p.num_rules) + "_p" +
              std::to_string(static_cast<int>(p.predicate_prob * 100)) +
              "_s" + std::to_string(p.seed_base);
+    });
+
+// ---------------------------------------------------------------------------
+// Fetch-plan soundness: the owner-side planning pass (ComputeFetchPlan over
+// the plaintext encoding) must predict EXACTLY the chunk set a real
+// sealed-container scan fetches — CTR preserves byte positions, so the
+// plaintext probe and the encrypted scan touch the same offsets. Soundness
+// (plan ⊇ fetched) is what keeps a planned session miss-free; exactness
+// (plan = fetched) is what keeps it from over-fetching.
+// ---------------------------------------------------------------------------
+
+struct PlanParams {
+  size_t doc_elements;
+  size_t num_rules;
+  double predicate_prob;
+  bool with_query;
+  uint32_t chunk_size;
+  bool use_skip;
+  uint64_t seed_base;
+  int iterations;
+};
+
+class FetchPlanSoundness : public ::testing::TestWithParam<PlanParams> {};
+
+TEST_P(FetchPlanSoundness, PlanEqualsSealedScanChunkSet) {
+  const PlanParams& p = GetParam();
+  for (int iter = 0; iter < p.iterations; ++iter) {
+    uint64_t seed = p.seed_base + SeedOffset() + static_cast<uint64_t>(iter);
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " (CSXA_SEED_OFFSET=" + std::to_string(SeedOffset()) + ")");
+    xml::GeneratorParams gp;
+    gp.profile = xml::DocProfile::kRandom;
+    gp.target_elements = p.doc_elements;
+    gp.seed = seed;
+    gp.vocabulary = 6;
+    gp.max_depth = 7;
+    xml::DomDocument doc = xml::GenerateDocument(gp);
+    ASSERT_NE(doc.root(), nullptr);
+
+    Rng rng(seed * 5227 + 29);
+    workload::RuleGenParams rp;
+    rp.num_rules = p.num_rules;
+    rp.path.predicate_prob = p.predicate_prob;
+    core::RuleSet rules = workload::GenerateRules(doc, "u", rp, &rng);
+    std::vector<core::AccessRule> subject_rules = rules.ForSubject("u");
+
+    xpath::PathExpr qexpr;
+    const xpath::PathExpr* qptr = nullptr;
+    if (p.with_query) {
+      auto tags = workload::CollectTags(doc);
+      auto values = workload::CollectValues(doc);
+      workload::PathGenParams qp;
+      qp.predicate_prob = p.predicate_prob;
+      std::string qtext = workload::GeneratePathText(tags, values, qp, &rng);
+      auto q = xpath::ParsePath(qtext);
+      ASSERT_TRUE(q.ok()) << qtext;
+      qexpr = std::move(q).value();
+      qptr = &qexpr;
+    }
+
+    auto encoded = skipindex::EncodeDocument(doc, {});
+    ASSERT_TRUE(encoded.ok());
+
+    auto plan = soe::ComputeFetchPlan(Span(encoded.value()), p.chunk_size,
+                                      subject_rules, qptr, p.use_skip);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+    // Ground truth: the scan the card actually performs, over the SEALED
+    // container, with every fetched chunk recorded.
+    auto key = crypto::SymmetricKey::Generate(&rng);
+    Bytes sealed = crypto::SecureContainer::Seal(key, encoded.value(),
+                                                 p.chunk_size, &rng);
+    auto container = crypto::SecureContainer::Parse(sealed);
+    ASSERT_TRUE(container.ok());
+    soe::ContainerChunkProvider backend(&container.value());
+    soe::RecordingProvider recorder(&backend);
+    soe::ChunkSource source(key, container.value().header(), &recorder,
+                            nullptr);
+    auto dec = skipindex::DocumentDecoder::Open(&source);
+    ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+    xml::CanonicalWriter writer;
+    auto ev = core::StreamingEvaluator::Create(subject_rules, qptr, &writer);
+    ASSERT_TRUE(ev.ok());
+    skipindex::FilterOptions fopts;
+    fopts.enable_skip = p.use_skip;
+    Status st = skipindex::RunFiltered(dec.value().get(), ev.value().get(),
+                                       fopts, nullptr);
+    ASSERT_TRUE(st.ok()) << st.ToString() << "\nrules:\n" << rules.ToText();
+
+    std::set<uint32_t> fetched(recorder.requested().begin(),
+                               recorder.requested().end());
+    std::set<uint32_t> planned;
+    for (const skipindex::ChunkRun& r : plan.value().runs) {
+      for (uint32_t i = 0; i < r.count; ++i) planned.insert(r.first + i);
+    }
+    // Soundness: every chunk the sealed scan fetched was planned.
+    for (uint32_t c : fetched) {
+      EXPECT_TRUE(plan.value().Covers(c))
+          << "fetched chunk " << c << " not in plan; seed=" << seed
+          << "\nrules:\n" << rules.ToText();
+    }
+    // Exactness: and nothing else was.
+    EXPECT_EQ(planned, fetched)
+        << "seed=" << seed << "\nrules:\n" << rules.ToText();
+
+    // The scan the plan was computed for delivers the oracle view.
+    auto ref = core::BuildAuthorizedView(doc, subject_rules, qptr);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(writer.str(), ref.value().Serialize()) << "seed=" << seed;
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlannedDocs, FetchPlanSoundness,
+    ::testing::Values(
+        // Skip-heavy scans at fine chunking — the planner's home turf.
+        PlanParams{100, 6, 0.3, false, 64, true, 14000, 10},
+        PlanParams{100, 6, 0.3, false, 256, true, 14100, 10},
+        // Queries narrow the scan further; the plan must follow.
+        PlanParams{120, 6, 0.4, true, 128, true, 14200, 10},
+        // Skip disabled: the "plan" is the whole container, still exact.
+        PlanParams{80, 5, 0.2, false, 128, false, 14300, 5},
+        // Chunk size larger than the document: everything in chunk 0.
+        PlanParams{40, 4, 0.3, false, 65536, true, 14400, 5}),
+    [](const ::testing::TestParamInfo<PlanParams>& info) {
+      const PlanParams& p = info.param;
+      std::string name = "c" + std::to_string(p.chunk_size);
+      name += p.use_skip ? "_skip1" : "_skip0";
+      name += p.with_query ? "_q1" : "_q0";
+      name += "_s" + std::to_string(p.seed_base);
+      return name;
     });
 
 }  // namespace

@@ -120,6 +120,57 @@ TEST(DurableServerTest, RemoveTombstoneKeepsRepublishMonotone) {
   EXPECT_EQ(reopened.value().rules_version, 3u);  // v2 tombstone + 1
 }
 
+TEST(DurableServerTest, MultiSpanGetChunksServesSpansInRequestOrder) {
+  // The durable read path (chunk slicing out of sealed blocks) must honor
+  // the same multi-span contract as the in-memory store: flattened span
+  // order, out-of-order and overlapping spans included, empty spans
+  // skipped, any past-EOF span failing the whole request — one request
+  // regardless of span count. Real clients only ever sent one span per
+  // request before the fetch planner; this pins the many-span path.
+  dsp::MemEnv env;
+  Rng rng(9);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  Bytes payload(2500);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 7 & 0xFF);
+  }
+  Bytes container = crypto::SecureContainer::Seal(key, payload, 256, &rng);
+  {
+    auto server = MustOpen(&env);
+    ASSERT_TRUE(server->Publish("m", container, RulesBlobFor(1)).ok());
+    ASSERT_TRUE(server->Close().ok());
+  }
+  auto server = MustOpen(&env);  // serve from disk, not the publish cache
+
+  std::vector<soe::ChunkData> reference;  // 10 chunks of 256 (last short)
+  for (uint32_t i = 0; i < 10; ++i) {
+    auto one = server->GetChunks("m", {dsp::ChunkSpan{i, 1}});
+    ASSERT_TRUE(one.ok()) << i;
+    reference.push_back(std::move(one.value()[0]));
+  }
+
+  uint64_t requests_before = server->stats().requests;
+  auto got = server->GetChunks(
+      "m", {dsp::ChunkSpan{6, 3}, dsp::ChunkSpan{0, 2}, dsp::ChunkSpan{3, 0},
+            dsp::ChunkSpan{1, 2}, dsp::ChunkSpan{9, 1}});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(server->stats().requests, requests_before + 1);
+  const std::vector<uint32_t> expect = {6, 7, 8, 0, 1, 1, 2, 9};
+  ASSERT_EQ(got.value().size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got.value()[i].ciphertext, reference[expect[i]].ciphertext) << i;
+    EXPECT_EQ(got.value()[i].auth.mac, reference[expect[i]].auth.mac) << i;
+  }
+
+  EXPECT_FALSE(
+      server->GetChunks("m", {dsp::ChunkSpan{0, 1}, dsp::ChunkSpan{9, 2}})
+          .ok());
+  auto none =
+      server->GetChunks("m", {dsp::ChunkSpan{0, 0}, dsp::ChunkSpan{5, 0}});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+}
+
 // --- The crash-point matrix --------------------------------------------------
 
 // One rig: a durable store on a fault-wrapped in-RAM disk, pre-seeded

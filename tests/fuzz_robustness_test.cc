@@ -8,12 +8,18 @@
 #include <string>
 
 #include "common/random.h"
+#include "core/evaluator.h"
+#include "core/ref_evaluator.h"
 #include "core/rule.h"
 #include "crypto/container.h"
 #include "skipindex/codec.h"
+#include "skipindex/filter.h"
 #include "soe/apdu.h"
+#include "soe/chunk_source.h"
+#include "soe/prefetch.h"
 #include "xml/generator.h"
 #include "xml/parser.h"
+#include "xml/writer.h"
 #include "xpath/parser.h"
 
 namespace csxa {
@@ -226,6 +232,92 @@ TEST(FuzzTest, ApduDecodersSurviveMutations) {
     ByteReader r(mutated);
     auto decoded = soe::ApduCommand::DecodeFrom(&r);
     (void)decoded;
+  }
+}
+
+// --- Fetch plan fuzz --------------------------------------------------------
+
+TEST(FuzzTest, CorruptedFetchPlansNeverChangeTheView) {
+  // The advisory-plan contract under mutation fuzzing: ANY plan — shifted,
+  // truncated, duplicated, pointing past the container, empty — fed to a
+  // PlannedProvider must still deliver the DOM-oracle view. A bad plan may
+  // cost fallback round trips; it must never change a byte of output or
+  // smuggle an unverified chunk past the card (every chunk still goes
+  // through verify-and-decrypt).
+  SCOPED_TRACE(SeedTrace(11));
+  Rng rng(FuzzSeed() + 11);
+  xml::GeneratorParams gp;
+  gp.profile = xml::DocProfile::kHospital;
+  gp.target_elements = 600;
+  gp.seed = FuzzSeed() + 12;
+  xml::DomDocument doc = xml::GenerateDocument(gp);
+  auto rules = core::RuleSet::ParseText("+ u //patient/admin\n").value();
+  std::vector<core::AccessRule> subject_rules = rules.ForSubject("u");
+  Bytes encoded = skipindex::EncodeDocument(doc, {}).value();
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  Bytes sealed = crypto::SecureContainer::Seal(key, encoded, 128, &rng);
+  auto container = crypto::SecureContainer::Parse(sealed).value();
+  const uint32_t chunk_count = container.header().chunk_count;
+
+  std::string expected =
+      core::BuildAuthorizedView(doc, subject_rules, nullptr)
+          .value()
+          .Serialize();
+  soe::FetchPlan good =
+      soe::ComputeFetchPlan(Span(encoded), 128, subject_rules, nullptr, true)
+          .value();
+
+  auto scan_with_plan = [&](const soe::FetchPlan& plan) -> Result<std::string> {
+    soe::ContainerChunkProvider backend(&container);
+    soe::PlannedProvider provider(&backend, chunk_count, plan);
+    soe::ChunkSource source(key, container.header(), &provider, nullptr);
+    CSXA_ASSIGN_OR_RETURN(auto dec, skipindex::DocumentDecoder::Open(&source));
+    xml::CanonicalWriter writer;
+    CSXA_ASSIGN_OR_RETURN(
+        auto ev, core::StreamingEvaluator::Create(subject_rules, nullptr,
+                                                  &writer));
+    skipindex::FilterOptions fopts;
+    fopts.enable_skip = true;
+    CSXA_RETURN_IF_ERROR(
+        skipindex::RunFiltered(dec.get(), ev.get(), fopts, nullptr));
+    return writer.str();
+  };
+
+  for (int iter = 0; iter < 200; ++iter) {
+    SCOPED_TRACE("iter=" + std::to_string(iter));
+    soe::FetchPlan mutated = good;
+    size_t edits = 1 + rng.Uniform(4);
+    for (size_t e = 0; e < edits && !mutated.runs.empty(); ++e) {
+      size_t at = rng.Uniform(mutated.runs.size());
+      switch (rng.Uniform(6)) {
+        case 0:  // shift a run anywhere, including far past the end
+          mutated.runs[at].first = static_cast<uint32_t>(
+              rng.Uniform(chunk_count * 3 + 1));
+          break;
+        case 1:  // grow or shrink a run
+          mutated.runs[at].count = static_cast<uint32_t>(
+              rng.Uniform(chunk_count + 4));
+          break;
+        case 2:  // drop a run (under-covering plan: forces fallbacks)
+          mutated.runs.erase(mutated.runs.begin() +
+                             static_cast<long>(at));
+          break;
+        case 3:  // duplicate a run (overlap)
+          mutated.runs.push_back(mutated.runs[at]);
+          break;
+        case 4:  // inject a random run
+          mutated.runs.push_back(skipindex::ChunkRun{
+              static_cast<uint32_t>(rng.Uniform(chunk_count * 2 + 1)),
+              static_cast<uint32_t>(rng.Uniform(8))});
+          break;
+        case 5:  // truncate the plan entirely now and then
+          if (rng.Chance(0.3)) mutated.runs.clear();
+          break;
+      }
+    }
+    auto view = scan_with_plan(mutated);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(view.value(), expected);
   }
 }
 

@@ -390,6 +390,94 @@ TEST(TransportTest, ShardedFailedPublishKeepsExistingCopies) {
   EXPECT_EQ(open.value().sealed_rules, (Bytes{5}));
 }
 
+// --- Multi-span kGetChunks ---------------------------------------------------
+
+// Seals a 10-chunk container (payload 2500 bytes, chunk 256) and returns
+// the per-chunk reference fetched one span at a time.
+std::vector<soe::ChunkData> PublishTenChunks(dsp::Service* dsp,
+                                             const std::string& doc_id,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  auto key = crypto::SymmetricKey::Generate(&rng);
+  Bytes payload(2500);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>((seed * 37 + i) & 0xFF);
+  }
+  Bytes container = crypto::SecureContainer::Seal(key, payload, 256, &rng);
+  EXPECT_TRUE(dsp->Publish(doc_id, container, Bytes{1}).ok());
+  std::vector<soe::ChunkData> reference;
+  for (uint32_t i = 0; i < 10; ++i) {
+    auto one = dsp->GetChunks(doc_id, {dsp::ChunkSpan{i, 1}});
+    EXPECT_TRUE(one.ok()) << i;
+    reference.push_back(std::move(one.value()[0]));
+  }
+  return reference;
+}
+
+TEST(TransportTest, MultiSpanGetChunksServesSpansInRequestOrder) {
+  dsp::DspServer dsp;
+  std::vector<soe::ChunkData> reference = PublishTenChunks(&dsp, "m", 31);
+
+  // Many disjoint spans, deliberately out of order, with an empty span
+  // and an overlap thrown in: the response is the flattened concatenation
+  // in REQUEST order (a chunk appearing in two spans is served twice) —
+  // and the whole thing is exactly one request.
+  std::vector<dsp::ChunkSpan> spans = {
+      {7, 2}, {0, 3}, {4, 0}, {2, 2}, {9, 1}};
+  const std::vector<uint32_t> expect = {7, 8, 0, 1, 2, 2, 3, 9};
+  uint64_t requests_before = dsp.stats().requests;
+  auto got = dsp.GetChunks("m", spans);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(dsp.stats().requests, requests_before + 1);
+  ASSERT_EQ(got.value().size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got.value()[i].ciphertext, reference[expect[i]].ciphertext) << i;
+  }
+
+  // All-empty spans are a legal no-op request.
+  auto none = dsp.GetChunks("m", {dsp::ChunkSpan{3, 0}, dsp::ChunkSpan{0, 0}});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+
+  // Any span reaching past the end fails the whole request: a planner bug
+  // must surface as an error here, not as truncated data.
+  EXPECT_FALSE(dsp.GetChunks("m", {dsp::ChunkSpan{0, 1}, dsp::ChunkSpan{9, 2}})
+                   .ok());
+  EXPECT_FALSE(dsp.GetChunks("m", {dsp::ChunkSpan{10, 1}}).ok());
+}
+
+TEST(TransportTest, MultiSpanGetChunksFailsOverOnShardedFleet) {
+  // The planner's multi-span requests must survive the misplaced-document
+  // path: the router probes, fails over, and the whole batch is served by
+  // whichever shard holds the document.
+  dsp::DspServer s0, s1;
+  dsp::ShardedService sharded({&s0, &s1});
+  const std::string doc_id = "misplaced-spans";
+  size_t home = sharded.ShardFor(doc_id);
+  dsp::DspServer* wrong = (home == 0) ? &s1 : &s0;
+  std::vector<soe::ChunkData> reference =
+      PublishTenChunks(wrong, doc_id, 32);
+
+  auto got = sharded.GetChunks(
+      doc_id, {dsp::ChunkSpan{8, 2}, dsp::ChunkSpan{1, 2}});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_GE(sharded.failovers(), 1u);
+  ASSERT_EQ(got.value().size(), 4u);
+  EXPECT_EQ(got.value()[0].ciphertext, reference[8].ciphertext);
+  EXPECT_EQ(got.value()[1].ciphertext, reference[9].ciphertext);
+  EXPECT_EQ(got.value()[2].ciphertext, reference[1].ciphertext);
+  EXPECT_EQ(got.value()[3].ciphertext, reference[2].ciphertext);
+
+  // And the span-order contract holds through the router exactly as it
+  // does against a single store.
+  auto again = sharded.GetChunks(
+      doc_id, {dsp::ChunkSpan{0, 1}, dsp::ChunkSpan{0, 0}, dsp::ChunkSpan{5, 3}});
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.value().size(), 4u);
+  EXPECT_EQ(again.value()[0].ciphertext, reference[0].ciphertext);
+  EXPECT_EQ(again.value()[3].ciphertext, reference[7].ciphertext);
+}
+
 // --- Prefetch window contract ----------------------------------------------
 
 // Counts backend batches without any store behind it.
