@@ -8,7 +8,7 @@
 //      just on stored bytes (decrypting a fatter index costs time).
 
 #include "bench/bench_util.h"
-#include "workload/rulegen.h"
+#include "scengen/rulegen.h"
 #include "xml/writer.h"
 
 using namespace csxa;
@@ -31,10 +31,10 @@ void AblationPending() {
       gp.seed = 900 + seed;
       auto doc = xml::GenerateDocument(gp);
       Rng rng(1000 + seed);
-      workload::RuleGenParams rp;
+      scengen::RuleGenParams rp;
       rp.num_rules = 6;
       rp.path.predicate_prob = p / 100.0;
-      auto rules = workload::GenerateRules(doc, "u", rp, &rng);
+      auto rules = scengen::GenerateRules(doc, "u", rp, &rng);
       xml::CanonicalWriter out;
       auto ev = core::StreamingEvaluator::Create(rules.ForSubject("u"),
                                                  nullptr, &out);

@@ -12,7 +12,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "core/evaluator.h"
-#include "workload/rulegen.h"
+#include "scengen/rulegen.h"
 #include "xml/generator.h"
 #include "xml/writer.h"
 
@@ -42,11 +42,11 @@ Workload MakeWorkload(size_t doc_elements, size_t num_rules,
   CSXA_CHECK(doc.root()->EmitEvents(&recorder, &w.tags).ok());
   w.events = recorder.Take();
   Rng rng(seed * 3 + 1);
-  workload::RuleGenParams rp;
+  scengen::RuleGenParams rp;
   rp.num_rules = num_rules;
   rp.path.predicate_prob = predicate_prob;
   rp.path.max_steps = max_steps;
-  w.rules = workload::GenerateRules(doc, "u", rp, &rng);
+  w.rules = scengen::GenerateRules(doc, "u", rp, &rng);
   return w;
 }
 
@@ -112,9 +112,9 @@ void BM_DocumentDepth(benchmark::State& state) {
   CSXA_CHECK(doc.root()->EmitEvents(&recorder, &w.tags).ok());
   w.events = recorder.Take();
   Rng rng(46);
-  workload::RuleGenParams rp;
+  scengen::RuleGenParams rp;
   rp.num_rules = 8;
-  w.rules = workload::GenerateRules(doc, "u", rp, &rng);
+  w.rules = scengen::GenerateRules(doc, "u", rp, &rng);
   RunEvaluator(state, w);
 }
 BENCHMARK(BM_DocumentDepth)->Arg(3)->Arg(6)->Arg(12)->Arg(24);

@@ -6,7 +6,7 @@
 // realistic workloads, with pending predicates being the main pressure.
 
 #include "bench/bench_util.h"
-#include "workload/rulegen.h"
+#include "scengen/rulegen.h"
 
 using namespace csxa;
 using namespace csxa::bench;
@@ -22,10 +22,10 @@ size_t PeakForRandomDoc(int depth, size_t num_rules, double pred_prob,
   gp.seed = seed;
   auto doc = xml::GenerateDocument(gp);
   Rng rng(seed + 1);
-  workload::RuleGenParams rp;
+  scengen::RuleGenParams rp;
   rp.num_rules = num_rules;
   rp.path.predicate_prob = pred_prob;
-  auto rules = workload::GenerateRules(doc, "u", rp, &rng);
+  auto rules = scengen::GenerateRules(doc, "u", rp, &rng);
 
   Rng seal_rng(seed + 2);
   auto key = crypto::SymmetricKey::Generate(&seal_rng);

@@ -1,0 +1,141 @@
+/// \file bench_scenarios.cc
+/// \brief Scenario-shape sweep: how document size, rule-set weight and
+/// policy-update rate move serving throughput.
+///
+/// Sweeps a parameterized ScenarioSpec over an elements x rules x
+/// update-rate grid (the three knobs the paper's experiments vary) and
+/// replays each cell through the full serving stack with workload::RunLoad.
+/// Every cell reports modeled throughput, server round trips
+/// (backend.requests), and the cache/invalidation counters — so the
+/// tracked series shows, e.g., how a heavier update mix converts cache
+/// hits into invalidation fan-out. Two headline rows replay the
+/// first-class catalog scenarios (the IoT fleet and the e-health mobility
+/// workload) under the same harness.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "scengen/spec.h"
+#include "workload/load.h"
+
+using namespace csxa;
+
+namespace {
+
+// One grid cell: a compact e-health-shaped spec with the swept knobs
+// applied. Document count stays small so the sweep measures shape, not
+// fleet size (the headline rows cover fleet scale).
+scengen::ScenarioSpec CellSpec(size_t elements, size_t rules_per_subject,
+                               double update_fraction) {
+  scengen::ScenarioSpec spec;
+  spec.name = "grid";
+  spec.documents = 6;
+  spec.seed = 404;
+  spec.doc.profile = xml::DocProfile::kHospital;
+  spec.doc.elements = elements;
+  spec.doc.text_avg_len = 24;
+  spec.rules.subjects = 3;
+  spec.rules.rules_per_subject = rules_per_subject;
+  spec.queries.generated = 3;
+  spec.churn.update_fraction = update_fraction;
+  spec.churn.publish_fraction = 0.05;
+  spec.churn.subject_churn = 0.5;
+  return spec;
+}
+
+workload::LoadReport RunCell(const scengen::ScenarioSpec& spec) {
+  workload::LoadOptions opt;
+  opt.sessions = bench::Smoke(8, 4);
+  opt.ops_per_session = bench::Smoke(6, 3);
+  opt.shards = 2;
+  opt.workers = 4;
+  opt.seed = 7;
+  opt.spec = spec;
+  return workload::RunLoad(opt);
+}
+
+void Report(const std::string& tag, const workload::LoadReport& r,
+            bench::Table* table, const std::string& label) {
+  const uint64_t ops = r.queries + r.updates + r.publishes;
+  const uint64_t lookups = r.cache_hits + r.cache_misses;
+  const double hit_pct = lookups > 0 ? 100.0 * static_cast<double>(r.cache_hits) /
+                                           static_cast<double>(lookups)
+                                     : 0.0;
+  const uint64_t invalidations = r.cache_invalidations + r.fanout_invalidations;
+  table->AddRow({label, bench::Fmt("%llu", static_cast<unsigned long long>(ops)),
+                 bench::Fmt("%llu", static_cast<unsigned long long>(r.failures)),
+                 bench::Fmt("%.0f", r.throughput_ops_per_sec),
+                 bench::Fmt("%llu",
+                            static_cast<unsigned long long>(r.backend.requests)),
+                 bench::Fmt("%.1f", hit_pct),
+                 bench::Fmt("%llu",
+                            static_cast<unsigned long long>(invalidations)),
+                 bench::Fmt("%.2f", r.p50_latency_ms),
+                 bench::Fmt("%.2f", r.wall_seconds)});
+
+  bench::JsonReport::Get().Add(tag, r.modeled_makespan_seconds * 1e9,
+                               r.throughput_ops_per_sec, 0.0,
+                               static_cast<double>(r.backend.requests));
+  bench::JsonReport::Get().AddValue(tag + "/round_trips",
+                                    static_cast<double>(r.backend.requests));
+  bench::JsonReport::Get().AddValue(tag + "/cache_hits",
+                                    static_cast<double>(r.cache_hits));
+  bench::JsonReport::Get().AddValue(tag + "/cache_misses",
+                                    static_cast<double>(r.cache_misses));
+  bench::JsonReport::Get().AddValue(tag + "/invalidations",
+                                    static_cast<double>(invalidations));
+  bench::JsonReport::Get().AddValue(tag + "/failures",
+                                    static_cast<double>(r.failures));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Scenario-shape sweep: %s ==\n",
+              bench::SmokeMode() ? "smoke workload" : "full workload");
+
+  // The grid. Full mode: 3 x 2 x 3 = 18 cells; smoke trims each axis but
+  // keeps the sweep alive (2 x 1 x 2 = 4 cells).
+  const std::vector<size_t> element_axis =
+      bench::SmokeMode() ? std::vector<size_t>{40, 120}
+                         : std::vector<size_t>{60, 160, 320};
+  const std::vector<size_t> rule_axis = bench::SmokeMode()
+                                            ? std::vector<size_t>{2}
+                                            : std::vector<size_t>{2, 6};
+  const std::vector<double> update_axis =
+      bench::SmokeMode() ? std::vector<double>{0.05, 0.35}
+                         : std::vector<double>{0.05, 0.20, 0.40};
+
+  bench::Table table({"cell", "ops", "fail", "thrpt ops/s", "round trips",
+                      "cache hit%", "invalidations", "p50 ms", "wall s"});
+
+  for (size_t elements : element_axis) {
+    for (size_t rules : rule_axis) {
+      for (double update : update_axis) {
+        const scengen::ScenarioSpec spec = CellSpec(elements, rules, update);
+        const workload::LoadReport r = RunCell(spec);
+        const std::string tag = bench::Fmt("scenarios/e%zu_r%zu_u%02d",
+                                           elements, rules,
+                                           static_cast<int>(update * 100));
+        Report(tag, r, &table, bench::Fmt("e=%zu r=%zu u=%.2f", elements,
+                                          rules, update));
+      }
+    }
+  }
+
+  // Headline rows: the first-class catalog scenarios, same harness.
+  {
+    scengen::ScenarioSpec iot = scengen::IoTFleetSpec();
+    if (bench::SmokeMode()) iot.documents = 64;
+    Report("scenarios/iot_fleet", RunCell(iot), &table, "iot_fleet");
+
+    scengen::ScenarioSpec health = scengen::EHealthMobilitySpec();
+    if (bench::SmokeMode()) health.documents = 4;
+    Report("scenarios/ehealth", RunCell(health), &table, "ehealth");
+  }
+
+  table.Print();
+  return 0;
+}

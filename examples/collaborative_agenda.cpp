@@ -12,8 +12,8 @@
 #include "pki/registry.h"
 #include "proxy/publisher.h"
 #include "proxy/terminal.h"
-#include "workload/scenarios.h"
-#include "xml/generator.h"
+#include "scengen/publish.h"
+#include "scengen/scenario.h"
 
 using namespace csxa;
 
@@ -37,22 +37,20 @@ void ShowQuery(proxy::Terminal* term, const std::string& doc_id,
 }  // namespace
 
 int main() {
-  workload::Scenario scenario = workload::AgendaScenario();
+  scengen::Scenario scenario = scengen::AgendaScenario();
   std::printf("=== Collaborative agenda (pull) ===\n%s\n\n",
               scenario.description.c_str());
 
-  xml::GeneratorParams gp;
-  gp.profile = xml::DocProfile::kAgenda;
-  gp.target_elements = 600;
-  gp.seed = 77;
-  auto agenda = xml::GenerateDocument(gp);
+  auto agenda = scengen::MakeScenarioDocument(scenario, /*elements=*/600,
+                                              /*seed=*/77);
   std::printf("agenda: %zu elements, depth %d\n", agenda.CountElements(),
               agenda.MaxDepth());
 
   dsp::DspServer store;
   pki::KeyRegistry registry;
   proxy::Publisher publisher(&store, &registry, 31337);
-  auto receipt = publisher.Publish("agenda", agenda, scenario.rules_text);
+  auto receipt =
+      scengen::PublishDocument(&publisher, "agenda", agenda, scenario.rules_text);
   if (!receipt.ok()) {
     std::fprintf(stderr, "publish failed: %s\n",
                  receipt.status().ToString().c_str());

@@ -13,8 +13,8 @@
 #include "pki/registry.h"
 #include "proxy/publisher.h"
 #include "proxy/terminal.h"
-#include "workload/scenarios.h"
-#include "xml/generator.h"
+#include "scengen/publish.h"
+#include "scengen/scenario.h"
 
 using namespace csxa;
 
@@ -32,20 +32,16 @@ size_t CountOccurrences(const std::string& haystack, const std::string& needle) 
 }  // namespace
 
 int main() {
-  workload::Scenario scenario = workload::HospitalScenario();
+  scengen::Scenario scenario = scengen::HospitalScenario();
   std::printf("=== Medical folder exchange (pull, with exceptions) ===\n%s\n\n",
               scenario.description.c_str());
-
-  xml::GeneratorParams gp;
-  gp.profile = xml::DocProfile::kHospital;
-  gp.target_elements = 900;
-  gp.seed = 1905;
-  auto folder = xml::GenerateDocument(gp);
 
   dsp::DspServer store;
   pki::KeyRegistry registry;
   proxy::Publisher publisher(&store, &registry, 613);
-  auto receipt = publisher.Publish("folder", folder, scenario.rules_text);
+  auto receipt = scengen::PublishScenarioDocument(&publisher, scenario,
+                                                  "folder", /*elements=*/900,
+                                                  /*seed=*/1905);
   if (!receipt.ok()) return 1;
 
   auto run = [&](const char* who, const char* query) {

@@ -11,20 +11,16 @@
 #include <cstdio>
 
 #include "dissem/channel.h"
-#include "workload/scenarios.h"
-#include "xml/generator.h"
+#include "scengen/scenario.h"
 
 using namespace csxa;
 
 namespace {
 
-xml::DomDocument MakeFeedItem(uint64_t seed) {
-  xml::GeneratorParams gp;
-  gp.profile = xml::DocProfile::kNewsFeed;
-  gp.target_elements = 300;
-  gp.seed = seed;
-  gp.text_avg_len = 40;
-  return xml::GenerateDocument(gp);
+xml::DomDocument MakeFeedItem(const scengen::Scenario& scenario,
+                              uint64_t seed) {
+  return scengen::MakeScenarioDocument(scenario, /*elements=*/300, seed,
+                                       /*text_avg_len=*/40);
 }
 
 void Report(const dissem::BroadcastReport& report) {
@@ -45,7 +41,7 @@ void Report(const dissem::BroadcastReport& report) {
 }  // namespace
 
 int main() {
-  workload::Scenario scenario = workload::NewsFeedScenario();
+  scengen::Scenario scenario = scengen::NewsFeedScenario();
   std::printf("=== Selective dissemination / parental control (push) ===\n"
               "%s\n\n",
               scenario.description.c_str());
@@ -64,7 +60,7 @@ int main() {
   std::printf("household rules:\n%s\n", scenario.rules_text.c_str());
 
   std::printf("feed item #1:\n");
-  auto r1 = channel.Publish(MakeFeedItem(1));
+  auto r1 = channel.Publish(MakeFeedItem(scenario, 1));
   if (!r1.ok()) {
     std::fprintf(stderr, "publish: %s\n", r1.status().ToString().c_str());
     return 1;
@@ -72,7 +68,7 @@ int main() {
   Report(r1.value());
 
   std::printf("\nfeed item #2:\n");
-  auto r2 = channel.Publish(MakeFeedItem(2));
+  auto r2 = channel.Publish(MakeFeedItem(scenario, 2));
   if (!r2.ok()) return 1;
   Report(r2.value());
 
@@ -88,7 +84,7 @@ int main() {
   if (!st.ok()) return 1;
 
   std::printf("feed item #3 under the new policy:\n");
-  auto r3 = channel.Publish(MakeFeedItem(3));
+  auto r3 = channel.Publish(MakeFeedItem(scenario, 3));
   if (!r3.ok()) return 1;
   Report(r3.value());
 

@@ -11,9 +11,10 @@
 # tracked round-trip series), bench_fault (BENCH_fault.json, the tracked
 # healthy-vs-degraded replicated-fabric series), bench_ablation and
 # bench_baselines (both tracked at the repo root too), bench_dissemination
-# and bench_skip_index — write their own report when CSXA_BENCH_JSON is
-# set (bench/bench_util.h JsonReport). Any new bench_* binary is picked up
-# automatically by the `*` case below.
+# bench_skip_index and bench_scenarios (BENCH_scenarios.json, the tracked
+# elements x rules x update-rate scenario grid) — write their own report
+# when CSXA_BENCH_JSON is set (bench/bench_util.h JsonReport). Any new
+# bench_* binary is picked up automatically by the `*` case below.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

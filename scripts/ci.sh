@@ -19,22 +19,25 @@ ctest --output-on-failure -j "$(nproc)"
 # The transport layer (dsp::Service protocol, sharding, caching,
 # prefetching) gates separately so a regression names itself in CI logs,
 # as does the fetch planner (the planned-vs-windowed-vs-per-chunk
-# differential suite).
+# differential suite) and the scenario generator (seed-stability and
+# oracle properties plus the IoT-fleet / e-health acceptance runs).
 ctest --output-on-failure -L transport
 ctest --output-on-failure -L planner
+ctest --output-on-failure -L scengen
 cd ..
 
 # ThreadSanitizer pass over the serving-stack suites: the transport,
-# concurrency, fault, planner and durable labels exercise the shared
-# caches, sharded stores, the async dispatcher, the replicated fabric
-# (failover, catch-up, retry storms), the multi-span planned fetch path
-# and the durable block store from many threads — TSan turns latent races
-# into failures. Separate build dir (instrumentation is ABI-incompatible);
-# benches and examples are skipped to keep the instrumented build small.
+# concurrency, fault, planner, durable and scengen labels exercise the
+# shared caches, sharded stores, the async dispatcher, the replicated
+# fabric (failover, catch-up, retry storms), the multi-span planned fetch
+# path, the durable block store and the generated-scenario load runs from
+# many threads — TSan turns latent races into failures. Separate build dir
+# (instrumentation is ABI-incompatible); benches and examples are skipped
+# to keep the instrumented build small.
 cmake -B build-tsan -S . -DCSXA_SANITIZE=thread \
   -DCSXA_BUILD_BENCH=OFF -DCSXA_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j
-(cd build-tsan && ctest --output-on-failure -L "transport|concurrency|fault|durable|planner")
+(cd build-tsan && ctest --output-on-failure -L "transport|concurrency|fault|durable|planner|scengen")
 
 # AddressSanitizer pass over the durable store: the block layer, crash
 # recovery and quarantine paths shuffle raw buffers, truncate files and
@@ -43,3 +46,13 @@ cmake -B build-asan -S . -DCSXA_SANITIZE=address \
   -DCSXA_BUILD_BENCH=OFF -DCSXA_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -L durable)
+
+# Shared-library smoke: -DCSXA_SHARED=ON builds every csxa_<subsystem>
+# library as a shared object (BUILD_SHARED_LIBS + PIC). This catches
+# missing link edges that static archives paper over — an undefined
+# symbol that a .a would defer to final-binary link time fails at .so
+# link time instead. A fast label subset proves the .so stack serves.
+cmake -B build-shared -S . -DCSXA_SHARED=ON \
+  -DCSXA_BUILD_BENCH=OFF -DCSXA_BUILD_EXAMPLES=OFF
+cmake --build build-shared -j
+(cd build-shared && ctest --output-on-failure -L "unit|scengen")

@@ -278,16 +278,35 @@ bool ReplicatedService::CatchUpLocked(size_t index) {
   bool restarted = false;
   uint64_t replayed = 0;
   for (size_t i = from; i < target; ++i) {
-    Request replay = log_[i].request;
-    Result<Response> res = state_[index].service->Execute(std::move(replay));
-    ++replayed;
+    // A lost response (applied-but-unacked timeout) is transient: replaying
+    // the entry is idempotent, so give each one a small retry budget and
+    // only abort the round when the replica looks genuinely unreachable.
+    // Without this, a long log behind a lossy link aborts on the first
+    // dropped ack and catch-up crawls one heartbeat-sized bite at a time.
+    Result<Response> res = Status::IoError("unreachable");
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      Request replay = log_[i].request;
+      res = state_[index].service->Execute(std::move(replay));
+      ++replayed;
+      if (res.status().code() != StatusCode::kIoError) break;
+    }
     const bool applied =
         res.ok() || (log_[i].request.op == Op::kRemove &&
                      res.status().code() == StatusCode::kNotFound);
     if (applied) continue;
     if (res.status().code() == StatusCode::kIoError || restarted) {
       // Unreachable again mid-replay (or diverged beyond a full rebuild):
-      // stays out of rotation until a later heartbeat retries.
+      // stays out of rotation until a later heartbeat retries. Keep the
+      // cleanly replayed prefix — re-replaying entry i is idempotent
+      // (forced versions, overwriting republishes), so the next attempt
+      // resumes here instead of restarting the whole suffix. Without
+      // this, a long op-log (a thousand-document fleet) with sprinkled
+      // response-loss faults makes all-or-nothing catch-up vanishingly
+      // unlikely to ever finish, and the replica never reintegrates.
+      {
+        std::lock_guard lock(mu_);
+        state_[index].applied_ops = i;
+      }
       catchup_ops_replayed_.fetch_add(replayed, std::memory_order_relaxed);
       return false;
     }

@@ -1,0 +1,49 @@
+#include "scengen/publish.h"
+
+#include <utility>
+
+#include "core/rule.h"
+
+namespace csxa::scengen {
+
+Result<PublishedDoc> PublishDocument(proxy::Publisher* publisher,
+                                     const std::string& doc_id,
+                                     const xml::DomDocument& doc,
+                                     const std::string& rules_text,
+                                     const proxy::PublishOptions& options) {
+  auto rules = core::RuleSet::ParseText(rules_text);
+  if (!rules.ok()) return rules.status();
+  auto receipt = publisher->Publish(doc_id, doc, rules_text, options);
+  if (!receipt.ok()) return receipt.status();
+  PublishedDoc out;
+  out.doc_id = doc_id;
+  out.subjects = rules.value().Subjects();
+  out.key = receipt.value().key;
+  out.container_bytes = receipt.value().container_bytes;
+  out.plaintext_bytes = receipt.value().plaintext_bytes;
+  return out;
+}
+
+Result<PublishedDoc> PublishScenarioDocument(
+    proxy::Publisher* publisher, const Scenario& scenario,
+    const std::string& doc_id, size_t elements, uint64_t seed,
+    size_t text_avg_len, const proxy::PublishOptions& options) {
+  xml::DomDocument doc =
+      MakeScenarioDocument(scenario, elements, seed, text_avg_len);
+  return PublishDocument(publisher, doc_id, doc, scenario.rules_text, options);
+}
+
+Result<PublishedDoc> PublishGeneratedDoc(proxy::Publisher* publisher,
+                                         const GeneratedScenario& scenario,
+                                         const ScenarioDoc& doc,
+                                         const proxy::PublishOptions& options) {
+  auto out = PublishDocument(publisher, doc.doc_id, scenario.Materialize(doc),
+                             doc.rules_text, options);
+  if (!out.ok()) return out.status();
+  // Narrow to the query-safe set: mobile "m<k>" subscribers churn out of
+  // later revisions, so harnesses must not query as them.
+  out.value().subjects = doc.subjects;
+  return out;
+}
+
+}  // namespace csxa::scengen

@@ -1,0 +1,60 @@
+#ifndef CSXA_SCENGEN_PUBLISH_H_
+#define CSXA_SCENGEN_PUBLISH_H_
+
+/// \file publish.h
+/// \brief One publishing path for scenario-shaped documents.
+///
+/// Examples, the load harness and the benches all used to repeat the same
+/// four lines — parse the scenario rules, generate the document, publish,
+/// remember the key and subjects. This helper is that loop body, so every
+/// harness publishes scenario documents identically.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/keys.h"
+#include "proxy/publisher.h"
+#include "scengen/scenario.h"
+#include "scengen/spec.h"
+#include "xml/dom.h"
+
+namespace csxa::scengen {
+
+/// What a scenario publish produced: everything a harness needs to later
+/// query (subjects) or republish/update (key) the document.
+struct PublishedDoc {
+  std::string doc_id;
+  /// Query-safe subjects of the published rule set.
+  std::vector<std::string> subjects;
+  crypto::SymmetricKey key;
+  size_t container_bytes = 0;
+  size_t plaintext_bytes = 0;
+};
+
+/// Publishes `doc` as `doc_id` under `rules_text` and reports the granted
+/// subjects (every subject of the rule text) alongside the key.
+Result<PublishedDoc> PublishDocument(proxy::Publisher* publisher,
+                                     const std::string& doc_id,
+                                     const xml::DomDocument& doc,
+                                     const std::string& rules_text,
+                                     const proxy::PublishOptions& options = {});
+
+/// Publishes one canonical-Scenario document: generates the document with
+/// MakeScenarioDocument and publishes it under the scenario's rule text.
+Result<PublishedDoc> PublishScenarioDocument(
+    proxy::Publisher* publisher, const Scenario& scenario,
+    const std::string& doc_id, size_t elements, uint64_t seed,
+    size_t text_avg_len = 24, const proxy::PublishOptions& options = {});
+
+/// Publishes one document of a generated scenario. The reported subjects
+/// are the document's query-safe set (stable across policy revisions),
+/// not the full grant list — mobile subscribers may lose access at the
+/// next revision.
+Result<PublishedDoc> PublishGeneratedDoc(
+    proxy::Publisher* publisher, const GeneratedScenario& scenario,
+    const ScenarioDoc& doc, const proxy::PublishOptions& options = {});
+
+}  // namespace csxa::scengen
+
+#endif  // CSXA_SCENGEN_PUBLISH_H_

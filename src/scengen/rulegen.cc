@@ -1,8 +1,8 @@
-#include "workload/rulegen.h"
+#include "scengen/rulegen.h"
 
 #include "common/logging.h"
 
-namespace csxa::workload {
+namespace csxa::scengen {
 
 namespace {
 
@@ -109,4 +109,4 @@ core::RuleSet GenerateRules(const xml::DomDocument& doc,
   return set;
 }
 
-}  // namespace csxa::workload
+}  // namespace csxa::scengen

@@ -1,5 +1,5 @@
-#ifndef CSXA_WORKLOAD_RULEGEN_H_
-#define CSXA_WORKLOAD_RULEGEN_H_
+#ifndef CSXA_SCENGEN_RULEGEN_H_
+#define CSXA_SCENGEN_RULEGEN_H_
 
 /// \file rulegen.h
 /// \brief Randomized access-rule and query generation.
@@ -17,7 +17,7 @@
 #include "xml/dom.h"
 #include "xpath/ast.h"
 
-namespace csxa::workload {
+namespace csxa::scengen {
 
 /// Tag vocabulary of a document in first-seen order.
 std::vector<std::string> CollectTags(const xml::DomDocument& doc);
@@ -63,6 +63,6 @@ core::RuleSet GenerateRules(const xml::DomDocument& doc,
                             const std::string& subject,
                             const RuleGenParams& params, Rng* rng);
 
-}  // namespace csxa::workload
+}  // namespace csxa::scengen
 
-#endif  // CSXA_WORKLOAD_RULEGEN_H_
+#endif  // CSXA_SCENGEN_RULEGEN_H_

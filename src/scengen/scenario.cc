@@ -1,6 +1,6 @@
-#include "workload/scenarios.h"
+#include "scengen/scenario.h"
 
-namespace csxa::workload {
+namespace csxa::scengen {
 
 Scenario AgendaScenario() {
   Scenario s;
@@ -88,4 +88,15 @@ std::vector<Scenario> AllScenarios() {
   return {AgendaScenario(), HospitalScenario(), NewsFeedScenario()};
 }
 
-}  // namespace csxa::workload
+xml::DomDocument MakeScenarioDocument(const Scenario& scenario,
+                                      size_t elements, uint64_t seed,
+                                      size_t text_avg_len) {
+  xml::GeneratorParams gp;
+  gp.profile = scenario.profile;
+  gp.target_elements = elements;
+  gp.seed = seed;
+  gp.text_avg_len = text_avg_len;
+  return xml::GenerateDocument(gp);
+}
+
+}  // namespace csxa::scengen

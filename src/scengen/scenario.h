@@ -1,0 +1,52 @@
+#ifndef CSXA_SCENGEN_SCENARIO_H_
+#define CSXA_SCENGEN_SCENARIO_H_
+
+/// \file scenario.h
+/// \brief The Scenario bundle and the hand-written canonical catalog.
+///
+/// A Scenario is a named (profile, rules, sample queries) bundle over one
+/// of the generated dataset profiles. The three canonical bundles below
+/// reproduce the demonstration storyline of §3 (agenda / medical folder /
+/// rated feed) and are shared by examples, tests and benches; the
+/// parameterized generator in spec.h mints arbitrary further bundles from
+/// a ScenarioSpec.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rule.h"
+#include "xml/generator.h"
+
+namespace csxa::scengen {
+
+/// \brief A named (subject, rules, sample queries) bundle over a profile.
+struct Scenario {
+  xml::DocProfile profile;
+  std::string description;
+  /// Rule text (core::RuleSet::ParseText format), covering 2+ subjects.
+  std::string rules_text;
+  /// Sample queries with a short label.
+  std::vector<std::pair<std::string, std::string>> queries;
+};
+
+/// The collaborative-agenda scenario (demo application 1: pull, textual).
+Scenario AgendaScenario();
+/// The hospital / medical-exchange scenario (§1 motivating example).
+Scenario HospitalScenario();
+/// The rated-feed scenario (demo application 2: push; parental control).
+Scenario NewsFeedScenario();
+/// All three canonical bundles.
+std::vector<Scenario> AllScenarios();
+
+/// One GeneratorParams boilerplate for scenario-shaped documents: the
+/// profile comes from the scenario, everything else from the arguments.
+/// Shared by the examples and the load harness so "a document of scenario
+/// S with E elements at seed s" means the same bytes everywhere.
+xml::DomDocument MakeScenarioDocument(const Scenario& scenario,
+                                      size_t elements, uint64_t seed,
+                                      size_t text_avg_len = 24);
+
+}  // namespace csxa::scengen
+
+#endif  // CSXA_SCENGEN_SCENARIO_H_

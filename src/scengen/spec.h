@@ -1,0 +1,177 @@
+#ifndef CSXA_SCENGEN_SPEC_H_
+#define CSXA_SCENGEN_SPEC_H_
+
+/// \file spec.h
+/// \brief Parameterized scenario generation: ScenarioSpec → a deterministic
+/// fleet of documents, per-document rule sets, a query mix and a churn
+/// schedule.
+///
+/// The three hand-written canonical bundles (scenario.h) each pin one
+/// point of the (document shape × rule selectivity × update rate) space.
+/// A ScenarioSpec sweeps that space instead: every knob of the document
+/// generator (xml::GeneratorParams), the rule generator (rulegen.h) and
+/// the load mix is a field, and the whole scenario is a pure function of
+/// (spec, spec.seed) — equal specs produce byte-identical documents,
+/// rule texts and queries, on any run, on any machine. That determinism
+/// is load-bearing: the property suites replay generated scenarios
+/// against the DOM oracle, and the load/fault harnesses reproduce a
+/// failing run from nothing but the spec.
+///
+/// Policy churn is part of the scenario, not the harness: RulesRevision
+/// (doc, r) is revision r of a document's rule set — the stable subject
+/// core keeps access across revisions (their rule bodies still change)
+/// while a sliding window of mobile subscribers churns in and out, the
+/// e-health dissemination pattern of users joining and leaving a
+/// patient's care team.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scengen/scenario.h"
+#include "xml/dom.h"
+#include "xml/generator.h"
+
+namespace csxa::scengen {
+
+/// Document-shape knobs, mapped onto xml::GeneratorParams.
+struct DocShape {
+  xml::DocProfile profile = xml::DocProfile::kRandom;
+  /// Approximate element count of each document.
+  size_t elements = 120;
+  /// Average generated text payload length.
+  size_t text_avg_len = 24;
+  /// kRandom: maximum nesting depth.
+  int max_depth = 8;
+  /// kRandom: tag vocabulary size; kIoT: capability/telemetry fan-out.
+  /// 0 keeps each profile's default.
+  size_t fan_out = 0;
+  /// kHospital: nested care-episode depth per visit (deep folders).
+  size_t folder_depth = 0;
+  /// kRandom: probability that an element carries text.
+  double text_prob = 0.5;
+};
+
+/// Rule-set shape: how many subjects each document grants and how
+/// selective their generated rules are.
+struct RuleShape {
+  /// Stable generated subjects per document ("s0".."s{N-1}"): they keep
+  /// access across every policy revision, so they are query-safe.
+  size_t subjects = 3;
+  /// Generated rules per subject and revision.
+  size_t rules_per_subject = 4;
+  /// Fraction of prohibitions among generated rules.
+  double negative_ratio = 0.35;
+  /// Rule-path shape: selectivity levers of the generated XPaths.
+  double predicate_prob = 0.25;
+  double value_pred_prob = 0.4;
+  double descendant_prob = 0.45;
+  double wildcard_prob = 0.1;
+  double junk_tag_prob = 0.05;
+  size_t max_steps = 4;
+  /// Hand-written rules prepended to every document and revision — the
+  /// realistic policy core (e.g. the IoT owner/operator split). Its
+  /// subjects are stable and query-safe too.
+  std::string base_rules_text;
+};
+
+/// Query mix: hand-written queries plus paths generated from the fleet's
+/// own tag vocabulary.
+struct QueryShape {
+  size_t generated = 3;
+  double predicate_prob = 0.3;
+  double descendant_prob = 0.5;
+  std::vector<std::pair<std::string, std::string>> base_queries;
+};
+
+/// Update / republish / churn rates the load harness replays.
+struct ChurnShape {
+  /// Fraction of ops that are cheap policy updates (kUpdateRules).
+  double update_fraction = 0.15;
+  /// Fraction of ops that fully republish a document.
+  double publish_fraction = 0.10;
+  /// Mobile-subscriber churn: round(subjects * subject_churn) extra
+  /// "m<k>" subscribers are active per revision, and the window slides
+  /// every revision — subscribers join and leave the rule set while the
+  /// stable core keeps access.
+  double subject_churn = 0.0;
+};
+
+/// \brief The full parameter set of one generated scenario.
+struct ScenarioSpec {
+  /// Names document ids ("<name>-<index>") and bench/report rows.
+  std::string name = "custom";
+  /// Documents in the shared fleet a load run publishes up front.
+  size_t documents = 8;
+  DocShape doc;
+  RuleShape rules;
+  QueryShape queries;
+  ChurnShape churn;
+  /// Master seed: equal (spec, seed) ⇒ byte-identical scenario.
+  uint64_t seed = 1;
+};
+
+/// One document of a generated scenario, fully resolved: materializing
+/// `doc_params` is THE document (byte-identical on every call).
+struct ScenarioDoc {
+  size_t index = 0;
+  std::string doc_id;
+  xml::GeneratorParams doc_params;
+  /// Revision-0 rule set (RulesRevision(index, 0)).
+  std::string rules_text;
+  /// Query-safe subjects: present in every policy revision.
+  std::vector<std::string> subjects;
+};
+
+/// \brief A built scenario: the shared fleet plus deterministic access to
+/// any further document or policy revision.
+struct GeneratedScenario {
+  ScenarioSpec spec;
+  std::string description;
+  /// The query mix (base + generated), shared by the whole fleet.
+  std::vector<std::pair<std::string, std::string>> queries;
+  /// The shared fleet: spec.documents entries, indexes 0..documents-1.
+  std::vector<ScenarioDoc> docs;
+
+  /// Deterministically mints document `index` (any index — the load
+  /// harness uses indexes >= spec.documents for session-owned docs).
+  /// `content_revision` varies the document body (a republish publishes
+  /// revision r+1); the rule text always derives from revision 0's
+  /// vocabulary so policy revisions stay comparable.
+  ScenarioDoc MakeDoc(size_t index, uint64_t content_revision = 0) const;
+
+  /// The document bytes of a resolved ScenarioDoc.
+  xml::DomDocument Materialize(const ScenarioDoc& doc) const;
+
+  /// Revision `revision` of document `index`'s rule set: base rules +
+  /// regenerated stable-core rules + the sliding mobile-subscriber
+  /// window. Revision 0 equals ScenarioDoc::rules_text.
+  std::string RulesRevision(size_t index, uint64_t revision) const;
+
+  /// Canonical serialization of the whole scenario (every fleet document,
+  /// its revision-0 and revision-1 rule texts, subjects and the query
+  /// mix). Two builds of equal specs produce equal fingerprints — the
+  /// seed-stability contract the property suite pins.
+  std::string Fingerprint() const;
+};
+
+/// Builds the scenario a spec describes. Pure: equal specs (including
+/// seed) build byte-identical scenarios.
+GeneratedScenario BuildScenario(const ScenarioSpec& spec);
+
+// --- First-class scenario catalog -----------------------------------------
+
+/// IoT fleet: ~1k devices each publishing a small capability/presence
+/// document with per-user access rules — many small docs stressing
+/// sharding, the shared cache and invalidation fan-out.
+ScenarioSpec IoTFleetSpec();
+
+/// E-health mobility: deep patient folders whose subscriber rule sets
+/// churn (care teams follow mobile patients) under a heavy policy-update
+/// mix — stressing the replicated write path, plan-cache invalidation and
+/// the durable commit rate.
+ScenarioSpec EHealthMobilitySpec();
+
+}  // namespace csxa::scengen
+
+#endif  // CSXA_SCENGEN_SPEC_H_

@@ -24,6 +24,8 @@
 #include "pki/registry.h"
 #include "proxy/publisher.h"
 #include "proxy/terminal.h"
+#include "scengen/publish.h"
+#include "scengen/spec.h"
 #include "workload/scenarios.h"
 #include "xml/generator.h"
 
@@ -31,8 +33,10 @@ namespace csxa::workload {
 
 namespace {
 
-// One shared document's replay material: which scenario it instantiates,
-// which subjects may open it, which queries make sense against it.
+// One shared document's replay material: which query set applies to it
+// and which subjects may open it. `scenario` indexes the run's query
+// catalog — per canonical scenario on the classic path, a single shared
+// entry on the spec path.
 struct DocInfo {
   std::string doc_id;
   size_t scenario = 0;
@@ -41,12 +45,9 @@ struct DocInfo {
 
 xml::DomDocument MakeDoc(const Scenario& scenario, size_t elements,
                          uint64_t seed) {
-  xml::GeneratorParams gp;
-  gp.profile = scenario.profile;
-  gp.target_elements = elements;
-  gp.seed = seed;
-  gp.text_avg_len = 32;
-  return xml::GenerateDocument(gp);
+  // text_avg_len 32 is the harness's historical document shape; keep it so
+  // classic runs stay byte-identical across releases.
+  return scengen::MakeScenarioDocument(scenario, elements, seed, 32);
 }
 
 double Quantile(std::vector<double>& sorted, double q) {
@@ -64,6 +65,17 @@ LoadReport RunLoad(const LoadOptions& options) {
   if (opt.shards == 0) opt.shards = 1;
   if (opt.documents == 0) opt.documents = 1;
   if (opt.replicas == 0) opt.replicas = 1;
+
+  // A generated scenario governs the workload shape: fleet size, document
+  // shape and churn rates come from the spec, not the legacy knobs.
+  const bool has_spec = opt.spec.has_value();
+  scengen::GeneratedScenario gen;
+  if (has_spec) {
+    gen = scengen::BuildScenario(*opt.spec);
+    opt.documents = gen.docs.size();
+    opt.update_fraction = gen.spec.churn.update_fraction;
+    opt.publish_fraction = gen.spec.churn.publish_fraction;
+  }
 
   // --- The deployment under test -----------------------------------------
   // Per replica: a `shards`-wide DspServer fleet behind one router, wrapped
@@ -166,6 +178,17 @@ LoadReport RunLoad(const LoadOptions& options) {
 
   const std::vector<Scenario> scenarios = AllScenarios();
 
+  // Query catalog, indexed by DocInfo::scenario. Classic runs keep one
+  // entry per canonical scenario; a generated scenario shares one query
+  // mix fleet-wide.
+  std::vector<std::vector<std::pair<std::string, std::string>>> query_sets;
+  if (has_spec) {
+    query_sets.push_back(gen.queries);
+  } else {
+    for (const Scenario& scn : scenarios) query_sets.push_back(scn.queries);
+  }
+  const proxy::PublishOptions publish_options{.chunk_size = opt.chunk_size};
+
   // --- Setup: publish the shared pool + one owned doc per session --------
   // Each session gets its own Publisher (publishers are single-threaded by
   // contract); all of them push through the shared serving stack.
@@ -177,26 +200,57 @@ LoadReport RunLoad(const LoadOptions& options) {
   proxy::Publisher setup_publisher(&retrying, &registry, opt.seed + 7777);
 
   std::vector<DocInfo> shared_docs;
-  for (size_t d = 0; d < opt.documents; ++d) {
-    DocInfo info;
-    info.scenario = d % scenarios.size();
-    const Scenario& scn = scenarios[info.scenario];
-    info.doc_id = "shared-" + std::to_string(d);
-    info.subjects = core::RuleSet::ParseText(scn.rules_text).value().Subjects();
-    auto receipt = setup_publisher.Publish(
-        info.doc_id, MakeDoc(scn, opt.elements_per_doc, opt.seed + 100 + d),
-        scn.rules_text, proxy::PublishOptions{.chunk_size = opt.chunk_size});
-    if (!receipt.ok()) continue;  // counted nowhere: setup must succeed
-    shared_docs.push_back(std::move(info));
+  if (has_spec) {
+    for (const scengen::ScenarioDoc& doc : gen.docs) {
+      auto pub = scengen::PublishGeneratedDoc(&setup_publisher, gen, doc,
+                                              publish_options);
+      if (!pub.ok()) continue;  // counted nowhere: setup must succeed
+      DocInfo info;
+      info.doc_id = pub.value().doc_id;
+      info.scenario = 0;  // the fleet-wide query mix
+      info.subjects = std::move(pub.value().subjects);
+      shared_docs.push_back(std::move(info));
+    }
+  } else {
+    for (size_t d = 0; d < opt.documents; ++d) {
+      DocInfo info;
+      info.scenario = d % scenarios.size();
+      const Scenario& scn = scenarios[info.scenario];
+      info.doc_id = "shared-" + std::to_string(d);
+      info.subjects =
+          core::RuleSet::ParseText(scn.rules_text).value().Subjects();
+      auto receipt = setup_publisher.Publish(
+          info.doc_id, MakeDoc(scn, opt.elements_per_doc, opt.seed + 100 + d),
+          scn.rules_text, publish_options);
+      if (!receipt.ok()) continue;  // counted nowhere: setup must succeed
+      shared_docs.push_back(std::move(info));
+    }
   }
 
   struct OwnedDoc {
     DocInfo info;
     crypto::SymmetricKey key;
+    /// Spec path: the document's index in the generated scenario and its
+    /// current content/policy revision (republishes and updates advance it).
+    size_t gen_index = 0;
+    uint64_t revision = 0;
   };
   std::vector<OwnedDoc> owned(opt.sessions);
   for (size_t k = 0; k < opt.sessions; ++k) {
     OwnedDoc& own = owned[k];
+    if (has_spec) {
+      // Session-owned documents extend the fleet: indexes past the shared
+      // pool, same spec-governed shape, same deterministic minting.
+      own.gen_index = gen.spec.documents + k;
+      scengen::ScenarioDoc doc = gen.MakeDoc(own.gen_index);
+      own.info.doc_id = doc.doc_id;
+      own.info.scenario = 0;
+      own.info.subjects = doc.subjects;
+      auto pub = scengen::PublishGeneratedDoc(publishers[k].get(), gen, doc,
+                                              publish_options);
+      if (pub.ok()) own.key = pub.value().key;
+      continue;
+    }
     own.info.scenario = k % scenarios.size();
     const Scenario& scn = scenarios[own.info.scenario];
     own.info.doc_id = "own-" + std::to_string(k);
@@ -204,7 +258,7 @@ LoadReport RunLoad(const LoadOptions& options) {
         core::RuleSet::ParseText(scn.rules_text).value().Subjects();
     auto receipt = publishers[k]->Publish(
         own.info.doc_id, MakeDoc(scn, opt.elements_per_doc, opt.seed + 500 + k),
-        scn.rules_text, proxy::PublishOptions{.chunk_size = opt.chunk_size});
+        scn.rules_text, publish_options);
     if (receipt.ok()) own.key = receipt.value().key;
   }
 
@@ -270,10 +324,10 @@ LoadReport RunLoad(const LoadOptions& options) {
     std::map<std::string, proxy::Terminal> terminals;
 
     auto run_query = [&](const DocInfo& doc) {
-      const Scenario& scn = scenarios[doc.scenario];
+      const auto& queries = query_sets[doc.scenario];
       const std::string& subject =
           doc.subjects[rng.Uniform(doc.subjects.size())];
-      const auto& q = scn.queries[rng.Uniform(scn.queries.size())];
+      const auto& q = queries[rng.Uniform(queries.size())];
       proxy::Terminal& terminal =
           terminals
               .try_emplace(subject, subject, opt.card, &retrying, &registry)
@@ -303,15 +357,30 @@ LoadReport RunLoad(const LoadOptions& options) {
       const double dice = rng.NextDouble();
       if (dice < opt.publish_fraction) {
         // Full republish of the session's own document: fresh key, fresh
-        // container, version bumped past every cached copy.
-        const Scenario& scn = scenarios[own.info.scenario];
-        auto receipt = publishers[k]->Publish(
-            own.info.doc_id,
-            MakeDoc(scn, opt.elements_per_doc, opt.seed + 900 + i * 31 + k),
-            scn.rules_text, proxy::PublishOptions{.chunk_size = opt.chunk_size});
+        // container, version bumped past every cached copy. On the spec
+        // path both the body and the policy advance one revision —
+        // republishing is how a generated scenario's documents age.
+        bool ok;
+        if (has_spec) {
+          ++own.revision;
+          scengen::ScenarioDoc doc =
+              gen.MakeDoc(own.gen_index, own.revision);
+          doc.rules_text = gen.RulesRevision(own.gen_index, own.revision);
+          auto pub = scengen::PublishGeneratedDoc(publishers[k].get(), gen,
+                                                  doc, publish_options);
+          ok = pub.ok();
+          if (ok) own.key = pub.value().key;
+        } else {
+          const Scenario& scn = scenarios[own.info.scenario];
+          auto receipt = publishers[k]->Publish(
+              own.info.doc_id,
+              MakeDoc(scn, opt.elements_per_doc, opt.seed + 900 + i * 31 + k),
+              scn.rules_text, publish_options);
+          ok = receipt.ok();
+          if (ok) own.key = receipt.value().key;
+        }
         ++out.publishes;
-        if (receipt.ok()) {
-          own.key = receipt.value().key;
+        if (ok) {
           out.latencies_sec.push_back(write_latency);
         } else {
           ++out.failures;
@@ -319,10 +388,16 @@ LoadReport RunLoad(const LoadOptions& options) {
         advance_modeled_clock(write_latency);
       } else if (dice < opt.publish_fraction + opt.update_fraction) {
         // The paper's cheap dynamic policy update: reseal rules, bump the
-        // version — every cache holding this doc revalidates.
-        const Scenario& scn = scenarios[own.info.scenario];
-        auto updated = publishers[k]->UpdateRules(own.info.doc_id, own.key,
-                                                  scn.rules_text);
+        // version — every cache holding this doc revalidates. On the spec
+        // path each update is the next RulesRevision: stable subjects keep
+        // access with fresh rule bodies while the mobile-subscriber window
+        // slides (newly granted subjects receive the key; churned-out ones
+        // keep a key the next republish rotates away).
+        const std::string& rules_text =
+            has_spec ? gen.RulesRevision(own.gen_index, ++own.revision)
+                     : scenarios[own.info.scenario].rules_text;
+        auto updated =
+            publishers[k]->UpdateRules(own.info.doc_id, own.key, rules_text);
         ++out.updates;
         if (updated.ok()) {
           out.latencies_sec.push_back(write_latency);

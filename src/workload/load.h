@@ -44,10 +44,12 @@
 /// counters.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "dsp/service.h"
 #include "proxy/terminal.h"
+#include "scengen/spec.h"
 #include "soe/card_profile.h"
 
 namespace csxa::workload {
@@ -125,6 +127,17 @@ struct LoadOptions {
   int retry_attempts = 4;
   /// Scripted crash/partition schedule (needs replicas > 1 to be useful).
   FaultPlan faults;
+
+  /// Generated scenario to replay instead of the canonical agenda /
+  /// hospital / news-feed round-robin. When set, the spec governs the
+  /// scenario shape — `documents`, `elements_per_doc`, `update_fraction`
+  /// and `publish_fraction` above are ignored in favor of the spec's
+  /// fleet size, document shape and churn rates; policy updates and
+  /// republishes walk the spec's RulesRevision chain (churning mobile
+  /// subscribers in and out) instead of resealing a fixed rule text.
+  /// Everything else (stack topology, card model, faults, seed for the
+  /// op mix) still comes from the fields above.
+  std::optional<scengen::ScenarioSpec> spec;
 };
 
 /// What one load run measured.

@@ -2,36 +2,21 @@
 #define CSXA_WORKLOAD_SCENARIOS_H_
 
 /// \file scenarios.h
-/// \brief Canonical demo scenarios: realistic rule sets and queries for the
-/// three generated dataset profiles. Shared by examples, tests and benches
-/// so the demonstration storyline of §3 is reproducible everywhere.
+/// \brief Forwarding header: the Scenario bundle and the canonical
+/// catalog moved to the scenario-generator subsystem (scengen/scenario.h)
+/// when the parameterized generator landed. Existing workload:: spellings
+/// keep working; new code should include scengen directly.
 
-#include <string>
-#include <vector>
-
-#include "core/rule.h"
-#include "xml/generator.h"
+#include "scengen/scenario.h"
 
 namespace csxa::workload {
 
-/// \brief A named (subject, rules, sample queries) bundle over a profile.
-struct Scenario {
-  xml::DocProfile profile;
-  std::string description;
-  /// Rule text (core::RuleSet::ParseText format), covering 2+ subjects.
-  std::string rules_text;
-  /// Sample queries with a short label.
-  std::vector<std::pair<std::string, std::string>> queries;
-};
-
-/// The collaborative-agenda scenario (demo application 1: pull, textual).
-Scenario AgendaScenario();
-/// The hospital / medical-exchange scenario (§1 motivating example).
-Scenario HospitalScenario();
-/// The rated-feed scenario (demo application 2: push; parental control).
-Scenario NewsFeedScenario();
-/// All three.
-std::vector<Scenario> AllScenarios();
+using Scenario = scengen::Scenario;
+using scengen::AgendaScenario;
+using scengen::AllScenarios;
+using scengen::HospitalScenario;
+using scengen::MakeScenarioDocument;
+using scengen::NewsFeedScenario;
 
 }  // namespace csxa::workload
 

@@ -1,5 +1,6 @@
 #include "xml/generator.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace csxa::xml {
@@ -129,6 +130,17 @@ DomDocument GenerateHospital(const GeneratorParams& p, Rng* rng) {
       DomNode* visit = medical->AddElement("visit", {{"date", RandomDate(rng)}});
       visit->AddElement("doctor")->AddText(RandomName(rng));
       visit->AddElement("report")->AddText(RandomText(rng, p.text_avg_len * 2));
+      if (p.folder_depth > 0) {
+        // Deep folders: a nested care-episode chain per visit. Guarded so
+        // the legacy flat folder (folder_depth == 0) consumes no extra
+        // rng draws and stays byte-identical.
+        DomNode* episode = visit->AddElement("history");
+        for (size_t d = 0; d < p.folder_depth; ++d) {
+          episode = episode->AddElement("episode");
+          episode->AddElement("date")->AddText(RandomDate(rng));
+          episode->AddElement("note")->AddText(RandomText(rng, p.text_avg_len));
+        }
+      }
       DomNode* admin = patient->AddElement("admin");
       admin->AddElement("insurance")->AddText(rng->Ident(8));
       DomNode* billing = admin->AddElement("billing");
@@ -172,6 +184,57 @@ DomDocument GenerateNewsFeed(const GeneratorParams& p, Rng* rng) {
       }
     }
   }
+  return DomDocument(std::move(root));
+}
+
+// ---------------------------------------------------------------------------
+// IoT profile: one device's capability/presence announcement. Fleets
+// publish thousands of these small documents; per-user access rules hide
+// location or telemetry from some subjects.
+// ---------------------------------------------------------------------------
+DomDocument GenerateIoT(const GeneratorParams& p, Rng* rng) {
+  static const char* kCapabilities[] = {"temperature", "humidity", "motion",
+                                        "camera",      "lock",     "relay",
+                                        "display",     "speaker"};
+  static const char* kZones[] = {"lobby", "lab", "warehouse", "roof", "dock"};
+  static const char* kVendors[] = {"acme", "borealis", "cirrus", "dynamo"};
+  auto root = DomNode::Element(
+      "device", {{"id", "dev-" + std::to_string(rng->Uniform(1u << 20))}});
+  DomNode* status = root->AddElement("status");
+  status->AddElement("online")->AddText(rng->Chance(0.85) ? "yes" : "no");
+  status->AddElement("battery")->AddText(std::to_string(rng->Range(1, 100)));
+  status->AddElement("signal")->AddText(std::to_string(rng->Range(-90, -30)));
+  status->AddElement("seen")->AddText(RandomDate(rng));
+
+  // The announcement body scales with target_elements: fixed sections cost
+  // ~13 elements, each capability 2 and each telemetry reading 1.
+  const size_t budget = p.target_elements > 13 ? p.target_elements - 13 : 3;
+  const size_t caps = p.fan_out > 0 ? p.fan_out : 1 + (budget / 3) % 8;
+  DomNode* capabilities = root->AddElement("capabilities");
+  for (size_t c = 0; c < caps; ++c) {
+    DomNode* cap = capabilities->AddElement(
+        "capability", {{"name", kCapabilities[rng->Uniform(8)]}});
+    cap->AddElement("version")
+        ->AddText(std::to_string(rng->Range(1, 4)) + "." +
+                  std::to_string(rng->Uniform(10)));
+  }
+  DomNode* location = root->AddElement("location");
+  location->AddElement("zone")->AddText(kZones[rng->Uniform(5)]);
+  location->AddElement("room")->AddText("r" + std::to_string(rng->Range(1, 40)));
+  DomNode* firmware = root->AddElement("firmware");
+  firmware->AddElement("vendor")->AddText(kVendors[rng->Uniform(4)]);
+  firmware->AddElement("build")->AddText(rng->Ident(8));
+  const size_t readings =
+      p.fan_out > 0 ? p.fan_out : 1 + budget - std::min(budget, caps * 2);
+  DomNode* telemetry = root->AddElement("telemetry");
+  for (size_t t = 0; t < readings; ++t) {
+    telemetry
+        ->AddElement("reading", {{"kind", kCapabilities[rng->Uniform(8)]}})
+        ->AddText(std::to_string(rng->Uniform(1000)));
+  }
+  DomNode* owner = root->AddElement("owner");
+  owner->AddElement("name")->AddText(RandomName(rng));
+  owner->AddElement("contact")->AddText(rng->Ident(6) + "@fleet.example");
   return DomDocument(std::move(root));
 }
 
@@ -223,6 +286,8 @@ DomDocument GenerateDocument(const GeneratorParams& params) {
       return GenerateNewsFeed(params, &rng);
     case DocProfile::kRandom:
       return GenerateRandom(params, &rng);
+    case DocProfile::kIoT:
+      return GenerateIoT(params, &rng);
   }
   return DomDocument();
 }
@@ -237,6 +302,8 @@ const char* DocProfileName(DocProfile profile) {
       return "newsfeed";
     case DocProfile::kRandom:
       return "random";
+    case DocProfile::kIoT:
+      return "iot";
   }
   return "?";
 }

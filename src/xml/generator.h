@@ -29,6 +29,10 @@ enum class DocProfile {
   /// Random tags/structure for property tests (uses `vocabulary` tags,
   /// recursive nesting).
   kRandom,
+  /// One IoT device's capability/presence announcement: status, declared
+  /// capabilities, location, firmware and a telemetry tail. Small by
+  /// design — fleets publish thousands of these.
+  kIoT,
 };
 
 /// Generation parameters. Sizes are approximate targets.
@@ -46,6 +50,14 @@ struct GeneratorParams {
   int max_depth = 8;
   /// kRandom only: probability that a generated element carries text.
   double text_prob = 0.5;
+  /// kHospital only: nested care-episode depth under each visit. 0 (the
+  /// default) keeps the flat legacy folder byte-identical; deeper values
+  /// grow an `<episode>` chain per visit — the deep-patient-folder shape
+  /// the e-health mobility scenario sweeps.
+  size_t folder_depth = 0;
+  /// kIoT only: capability / telemetry fan-out per section; 0 picks a
+  /// default proportional to `target_elements`.
+  size_t fan_out = 0;
 };
 
 /// Generates a document for the given parameters.

@@ -17,7 +17,7 @@
 #include "skipindex/filter.h"
 #include "soe/chunk_source.h"
 #include "soe/prefetch.h"
-#include "workload/rulegen.h"
+#include "scengen/rulegen.h"
 #include "xml/generator.h"
 #include "xml/writer.h"
 #include "xpath/parser.h"
@@ -126,19 +126,19 @@ TEST_P(OracleAgreement, StreamingMatchesDom) {
     ASSERT_NE(doc.root(), nullptr);
 
     Rng rng(seed * 7919 + 13);
-    workload::RuleGenParams rp;
+    scengen::RuleGenParams rp;
     rp.num_rules = p.num_rules;
     rp.path.predicate_prob = p.predicate_prob;
-    core::RuleSet rules = workload::GenerateRules(doc, "u", rp, &rng);
+    core::RuleSet rules = scengen::GenerateRules(doc, "u", rp, &rng);
 
     xpath::PathExpr qexpr;
     const xpath::PathExpr* qptr = nullptr;
     if (p.with_query) {
-      auto tags = workload::CollectTags(doc);
-      auto values = workload::CollectValues(doc);
-      workload::PathGenParams qp;
+      auto tags = scengen::CollectTags(doc);
+      auto values = scengen::CollectValues(doc);
+      scengen::PathGenParams qp;
       qp.predicate_prob = p.predicate_prob;
-      std::string qtext = workload::GeneratePathText(tags, values, qp, &rng);
+      std::string qtext = scengen::GeneratePathText(tags, values, qp, &rng);
       auto q = xpath::ParsePath(qtext);
       ASSERT_TRUE(q.ok()) << qtext;
       qexpr = std::move(q).value();
@@ -289,10 +289,10 @@ TEST_P(SkipOracleAgreement, FilteredStreamMatchesDom) {
     ASSERT_NE(doc.root(), nullptr);
 
     Rng rng(seed * 6271 + 17);
-    workload::RuleGenParams rp;
+    scengen::RuleGenParams rp;
     rp.num_rules = p.num_rules;
     rp.path.predicate_prob = p.predicate_prob;
-    core::RuleSet rules = workload::GenerateRules(doc, "u", rp, &rng);
+    core::RuleSet rules = scengen::GenerateRules(doc, "u", rp, &rng);
     std::vector<core::AccessRule> subject_rules = rules.ForSubject("u");
 
     auto encoded = skipindex::EncodeDocument(doc, {});
@@ -384,20 +384,20 @@ TEST_P(FetchPlanSoundness, PlanEqualsSealedScanChunkSet) {
     ASSERT_NE(doc.root(), nullptr);
 
     Rng rng(seed * 5227 + 29);
-    workload::RuleGenParams rp;
+    scengen::RuleGenParams rp;
     rp.num_rules = p.num_rules;
     rp.path.predicate_prob = p.predicate_prob;
-    core::RuleSet rules = workload::GenerateRules(doc, "u", rp, &rng);
+    core::RuleSet rules = scengen::GenerateRules(doc, "u", rp, &rng);
     std::vector<core::AccessRule> subject_rules = rules.ForSubject("u");
 
     xpath::PathExpr qexpr;
     const xpath::PathExpr* qptr = nullptr;
     if (p.with_query) {
-      auto tags = workload::CollectTags(doc);
-      auto values = workload::CollectValues(doc);
-      workload::PathGenParams qp;
+      auto tags = scengen::CollectTags(doc);
+      auto values = scengen::CollectValues(doc);
+      scengen::PathGenParams qp;
       qp.predicate_prob = p.predicate_prob;
-      std::string qtext = workload::GeneratePathText(tags, values, qp, &rng);
+      std::string qtext = scengen::GeneratePathText(tags, values, qp, &rng);
       auto q = xpath::ParsePath(qtext);
       ASSERT_TRUE(q.ok()) << qtext;
       qexpr = std::move(q).value();

@@ -9,7 +9,7 @@
 #include "core/ref_evaluator.h"
 #include "skipindex/codec.h"
 #include "skipindex/filter.h"
-#include "workload/rulegen.h"
+#include "scengen/rulegen.h"
 #include "xml/generator.h"
 #include "xml/writer.h"
 #include "xpath/parser.h"
@@ -123,10 +123,10 @@ TEST(EvaluatorEdgeTest, ZipfSkewedRandomDocs) {
     gp.max_depth = 10;
     gp.seed = 5000 + static_cast<uint64_t>(iter);
     auto doc = xml::GenerateDocument(gp);
-    workload::RuleGenParams rp;
+    scengen::RuleGenParams rp;
     rp.num_rules = 5;
     rp.path.predicate_prob = 0.4;
-    auto rules = workload::GenerateRules(doc, "u", rp, &rng);
+    auto rules = scengen::GenerateRules(doc, "u", rp, &rng);
     xml::CanonicalWriter w;
     auto ev = core::StreamingEvaluator::Create(rules.ForSubject("u"),
                                                nullptr, &w)

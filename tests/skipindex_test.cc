@@ -9,7 +9,7 @@
 #include "core/ref_evaluator.h"
 #include "skipindex/codec.h"
 #include "skipindex/filter.h"
-#include "workload/rulegen.h"
+#include "scengen/rulegen.h"
 #include "xml/generator.h"
 #include "xml/writer.h"
 #include "xpath/parser.h"
@@ -197,18 +197,18 @@ TEST_P(SkipInvariant, SkippingNeverChangesOutput) {
     gp.seed = seed;
     auto doc = xml::GenerateDocument(gp);
     Rng rng(seed * 31 + 7);
-    workload::RuleGenParams rp;
+    scengen::RuleGenParams rp;
     rp.num_rules = p.num_rules;
     rp.path.predicate_prob = p.predicate_prob;
-    auto rules = workload::GenerateRules(doc, "u", rp, &rng);
+    auto rules = scengen::GenerateRules(doc, "u", rp, &rng);
 
     xpath::PathExpr qexpr;
     const xpath::PathExpr* qptr = nullptr;
     if (p.with_query) {
-      auto tags = workload::CollectTags(doc);
-      auto values = workload::CollectValues(doc);
-      workload::PathGenParams qp;
-      std::string qtext = workload::GeneratePathText(tags, values, qp, &rng);
+      auto tags = scengen::CollectTags(doc);
+      auto values = scengen::CollectValues(doc);
+      scengen::PathGenParams qp;
+      std::string qtext = scengen::GeneratePathText(tags, values, qp, &rng);
       qexpr = xpath::ParsePath(qtext).value();
       qptr = &qexpr;
     }
